@@ -1,0 +1,29 @@
+//! Criterion bench for **Figure 12**: CMC versus the CuTS family on each
+//! dataset profile.
+
+use convoy_bench::{bench_scale, prepared, run_method};
+use convoy_core::Method;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use traj_datasets::ProfileName;
+
+fn bench_fig12(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("fig12_cmc_vs_cuts");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for name in ProfileName::ALL {
+        let data = prepared(name, scale);
+        for method in Method::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), name.name()),
+                &method,
+                |b, &method| b.iter(|| run_method(&data, method, None)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

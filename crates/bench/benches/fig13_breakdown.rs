@@ -1,0 +1,74 @@
+//! Criterion bench for **Figure 13**: the three stages of a CuTS run
+//! (simplification, filter, refinement) measured separately on the Cattle-
+//! and Taxi-like profiles.
+
+use convoy_bench::{bench_scale, prepared};
+use convoy_core::cuts::filter::{filter_simplified, simplify_database};
+use convoy_core::cuts::refine::refine;
+use convoy_core::{auto_delta, CutsConfig, CutsVariant};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use traj_datasets::ProfileName;
+
+fn bench_fig13(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("fig13_breakdown");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(1));
+
+    for name in [ProfileName::Cattle, ProfileName::Taxi] {
+        let data = prepared(name, scale);
+        for variant in CutsVariant::ALL {
+            let config = CutsConfig::new(variant);
+            let delta = auto_delta(&data.dataset.database, data.query.e);
+            let simplified = simplify_database(&data.dataset.database, &config, delta);
+            let filter_output = filter_simplified(
+                &simplified,
+                &data.dataset.database,
+                &data.query,
+                &config,
+                delta,
+            );
+
+            group.bench_with_input(
+                BenchmarkId::new(format!("{variant}/simplification"), name.name()),
+                &delta,
+                |b, &delta| {
+                    b.iter(|| simplify_database(&data.dataset.database, &config, delta))
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{variant}/filter"), name.name()),
+                &delta,
+                |b, &delta| {
+                    b.iter(|| {
+                        filter_simplified(
+                            &simplified,
+                            &data.dataset.database,
+                            &data.query,
+                            &config,
+                            delta,
+                        )
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{variant}/refinement"), name.name()),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        refine(
+                            &data.dataset.database,
+                            &data.query,
+                            &filter_output.candidates,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig13);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for **Figure 14**: CuTS* with the global tolerance versus
+//! the per-segment actual tolerance in its filter range searches.
+
+use convoy_bench::{bench_scale, prepared, run_method};
+use convoy_core::{CutsConfig, CutsVariant, Method};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use traj_datasets::ProfileName;
+use traj_simplify::ToleranceMode;
+
+fn bench_fig14(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("fig14_actual_tolerance");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for name in ProfileName::ALL {
+        let data = prepared(name, scale);
+        for mode in [ToleranceMode::Global, ToleranceMode::Actual] {
+            group.bench_with_input(
+                BenchmarkId::new(mode.name(), name.name()),
+                &mode,
+                |b, &mode| {
+                    b.iter(|| {
+                        let config =
+                            CutsConfig::new(CutsVariant::CutsStar).with_tolerance_mode(mode);
+                        run_method(&data, Method::CutsStar, Some(config))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig14);
+criterion_main!(benches);

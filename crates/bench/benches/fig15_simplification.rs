@@ -1,0 +1,39 @@
+//! Criterion bench for **Figure 15**: elapsed time of DP, DP+ and DP* as the
+//! tolerance δ grows, on the Cattle-like profile.
+
+use convoy_bench::{bench_scale, prepared};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use traj_datasets::ProfileName;
+use traj_simplify::SimplificationMethod;
+
+fn bench_fig15(c: &mut Criterion) {
+    let scale = bench_scale();
+    let data = prepared(ProfileName::Cattle, scale);
+    let mut group = c.benchmark_group("fig15_simplification");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let e = data.query.e;
+    for method in SimplificationMethod::ALL {
+        for fraction in [1.0 / 30.0, 0.1, 7.0 / 30.0] {
+            let delta = fraction * e;
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), format!("delta={delta:.0}")),
+                &delta,
+                |b, &delta| {
+                    b.iter(|| {
+                        data.dataset
+                            .database
+                            .iter()
+                            .map(|(_, traj)| method.simplify(traj, delta))
+                            .count()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig15);
+criterion_main!(benches);

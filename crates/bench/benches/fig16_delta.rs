@@ -1,0 +1,37 @@
+//! Criterion bench for **Figure 16**: total discovery time of the CuTS family
+//! as the simplification tolerance δ grows (Car- and Taxi-like profiles).
+
+use convoy_bench::{bench_scale, prepared, run_method};
+use convoy_core::{CutsConfig, Method};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use traj_datasets::ProfileName;
+
+fn bench_fig16(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("fig16_delta");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for name in [ProfileName::Car, ProfileName::Taxi] {
+        let data = prepared(name, scale);
+        let e = data.query.e;
+        for method in [Method::Cuts, Method::CutsPlus, Method::CutsStar] {
+            for fraction in [0.125, 1.0, 2.75] {
+                let delta = fraction * e;
+                let config = CutsConfig::new(method.cuts_variant().unwrap()).with_delta(delta);
+                group.bench_with_input(
+                    BenchmarkId::new(
+                        format!("{}/{}", name.name(), method.name()),
+                        format!("delta={delta:.0}"),
+                    ),
+                    &config,
+                    |b, config| b.iter(|| run_method(&data, method, Some(*config))),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig16);
+criterion_main!(benches);

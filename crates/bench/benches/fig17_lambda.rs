@@ -1,0 +1,39 @@
+//! Criterion bench for **Figure 17**: total discovery time of the CuTS family
+//! as the time-partition length λ grows (Truck- and Cattle-like profiles).
+
+use convoy_bench::{bench_scale, prepared, run_method};
+use convoy_core::{CutsConfig, Method};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use traj_datasets::ProfileName;
+
+fn bench_fig17(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("fig17_lambda");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let sweeps = [
+        (ProfileName::Truck, [5usize, 10, 20]),
+        (ProfileName::Cattle, [10usize, 30, 70]),
+    ];
+    for (name, lambdas) in sweeps {
+        let data = prepared(name, scale);
+        for method in [Method::Cuts, Method::CutsPlus, Method::CutsStar] {
+            for lambda in lambdas {
+                let config = CutsConfig::new(method.cuts_variant().unwrap()).with_lambda(lambda);
+                group.bench_with_input(
+                    BenchmarkId::new(
+                        format!("{}/{}", name.name(), method.name()),
+                        format!("lambda={lambda}"),
+                    ),
+                    &config,
+                    |b, config| b.iter(|| run_method(&data, method, Some(*config))),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig17);
+criterion_main!(benches);

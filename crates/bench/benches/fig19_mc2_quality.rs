@@ -1,0 +1,36 @@
+//! Criterion bench for **Figure 19**: the cost of the MC2 moving-cluster
+//! baseline as the overlap threshold θ varies. (The accuracy side of
+//! Figure 19 is produced by the `fig19` binary; this bench tracks MC2's
+//! running time so regressions in the baseline are visible too.)
+
+use convoy_bench::{bench_scale, prepared};
+use convoy_core::{mc2, Mc2Config};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use traj_datasets::ProfileName;
+
+fn bench_fig19(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("fig19_mc2_quality");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for name in ProfileName::ALL {
+        let data = prepared(name, scale);
+        for theta in [0.4, 1.0] {
+            let config = Mc2Config {
+                e: data.query.e,
+                m: data.query.m,
+                theta,
+            };
+            group.bench_with_input(
+                BenchmarkId::new(name.name(), format!("theta={theta}")),
+                &config,
+                |b, config| b.iter(|| mc2(&data.dataset.database, config)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig19);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Micro-benchmarks of the primitives the discovery algorithms spend their
+//! time in: distance functions, DBSCAN over a snapshot, trajectory
+//! simplification, and the ω sub-trajectory distance. These are not paper
+//! figures; they exist to catch performance regressions at the component
+//! level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use traj_cluster::{snapshot_clusters, SegmentDistance, SubTrajectory};
+use traj_simplify::{DouglasPeucker, DouglasPeuckerStar, Simplifier, ToleranceMode};
+use trajectory::geometry::{Point, Segment, TimedSegment};
+use trajectory::{ObjectId, TimeInterval, TrajPoint, Trajectory, TrajectoryDatabase, SnapshotPolicy};
+
+fn random_trajectory(rng: &mut StdRng, len: usize) -> Trajectory {
+    let mut x = 0.0f64;
+    let mut y = 0.0f64;
+    let points = (0..len)
+        .map(|t| {
+            x += rng.gen_range(-1.0..1.0);
+            y += rng.gen_range(-1.0..1.0);
+            TrajPoint::new(x, y, t as i64)
+        })
+        .collect();
+    Trajectory::from_points(points).expect("non-empty")
+}
+
+fn bench_distances(c: &mut Criterion) {
+    let a = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 3.0));
+    let b = Segment::new(Point::new(5.0, 8.0), Point::new(-2.0, 4.0));
+    let ta = TimedSegment::new(a, TimeInterval::new(0, 10));
+    let tb = TimedSegment::new(b, TimeInterval::new(3, 12));
+    let mut group = c.benchmark_group("micro/distances");
+    group.bench_function("segment_dll", |bench| {
+        bench.iter(|| a.distance_to_segment(&b))
+    });
+    group.bench_function("segment_dstar_cpa", |bench| {
+        bench.iter(|| ta.cpa_distance(&tb))
+    });
+    group.finish();
+}
+
+fn bench_snapshot_clustering(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut group = c.benchmark_group("micro/snapshot_dbscan");
+    for n in [100usize, 500] {
+        let mut db = TrajectoryDatabase::new();
+        for i in 0..n {
+            let x = rng.gen_range(0.0..100.0);
+            let y = rng.gen_range(0.0..100.0);
+            db.insert(
+                ObjectId(i as u64),
+                Trajectory::from_tuples([(x, y, 0)]).unwrap(),
+            );
+        }
+        let snapshot = db.snapshot(0, SnapshotPolicy::Interpolate);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &snapshot, |bench, snap| {
+            bench.iter(|| snapshot_clusters(snap, 3.0, 3))
+        });
+    }
+    group.finish();
+}
+
+fn bench_simplification(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let traj = random_trajectory(&mut rng, 5_000);
+    let mut group = c.benchmark_group("micro/simplification");
+    group.bench_function("dp_5000pts", |bench| {
+        bench.iter(|| DouglasPeucker.simplify(&traj, 2.0))
+    });
+    group.bench_function("dp_star_5000pts", |bench| {
+        bench.iter(|| DouglasPeuckerStar.simplify(&traj, 2.0))
+    });
+    group.finish();
+}
+
+fn bench_omega(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(13);
+    let a = DouglasPeucker.simplify(&random_trajectory(&mut rng, 2_000), 2.0);
+    let b = DouglasPeucker.simplify(&random_trajectory(&mut rng, 2_000), 2.0);
+    let window = TimeInterval::new(0, 1_999);
+    let sa = SubTrajectory::for_window(ObjectId(1), &a, window).unwrap();
+    let sb = SubTrajectory::for_window(ObjectId(2), &b, window).unwrap();
+    c.bench_function("micro/omega_distance", |bench| {
+        bench.iter(|| {
+            traj_cluster::omega_distance(&sa, &sb, SegmentDistance::Dll, ToleranceMode::Actual)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_distances,
+    bench_snapshot_clustering,
+    bench_simplification,
+    bench_omega
+);
+criterion_main!(benches);

@@ -1,0 +1,337 @@
+//! Runs the full evaluation suite — Table 3 and Figures 12–17 and 19 — by
+//! generating every dataset once and fanning the per-dataset work out over
+//! worker threads, then collecting all CSVs under `bench_results/`.
+//!
+//! This is the binary `EXPERIMENTS.md` is produced from.
+
+use convoy_bench::{prepared, run_method, scale_from_env, sweep_delta, sweep_lambda, Report};
+use convoy_core::{compare_result_sets, mc2, CutsConfig, CutsVariant, Mc2Config, Method};
+use std::time::Instant;
+use traj_datasets::ProfileName;
+use traj_simplify::{ReductionStats, SimplificationMethod, ToleranceMode};
+
+/// Everything measured for one dataset profile, produced by one worker.
+struct ProfileResults {
+    table3_row: Vec<String>,
+    fig12_rows: Vec<Vec<String>>,
+    fig13_rows: Vec<Vec<String>>,
+    fig14_rows: Vec<Vec<String>>,
+    fig15_rows: Vec<Vec<String>>,
+    fig16_rows: Vec<Vec<String>>,
+    fig17_rows: Vec<Vec<String>>,
+    fig19_rows: Vec<Vec<String>>,
+}
+
+fn measure_profile(name: ProfileName, scale: f64) -> ProfileResults {
+    let data = prepared(name, scale);
+    let stats = data.dataset.database.stats();
+
+    // --- Figure 12 + Table 3 -------------------------------------------------
+    let mut fig12_rows = Vec::new();
+    let mut cmc_reference = None;
+    let mut cmc_time = 0.0f64;
+    let mut cuts_star_run = None;
+    for method in Method::ALL {
+        let run = run_method(&data, method, None);
+        let elapsed = run.elapsed_secs();
+        if method == Method::Cmc {
+            cmc_time = elapsed;
+            cmc_reference = Some(run.outcome.convoys.clone());
+        }
+        if method == Method::CutsStar {
+            cuts_star_run = Some(run.clone());
+        }
+        fig12_rows.push(vec![
+            name.to_string(),
+            method.to_string(),
+            format!("{elapsed:.4}"),
+            run.outcome.convoys.len().to_string(),
+            format!("{:.2}", if elapsed > 0.0 { cmc_time / elapsed } else { f64::INFINITY }),
+        ]);
+    }
+    let cuts_star_run = cuts_star_run.expect("CuTS* always runs");
+    let cmc_reference = cmc_reference.expect("CMC always runs");
+
+    let table3_row = vec![
+        name.to_string(),
+        stats.num_objects.to_string(),
+        stats.time_domain_length.to_string(),
+        format!("{:.1}", stats.average_trajectory_length),
+        stats.total_points.to_string(),
+        data.query.m.to_string(),
+        data.query.k.to_string(),
+        format!("{}", data.query.e),
+        format!("{:.2}", cuts_star_run.outcome.stats.delta),
+        cuts_star_run.outcome.stats.lambda.to_string(),
+        cuts_star_run.outcome.convoys.len().to_string(),
+    ];
+
+    // --- Figure 13 (only Cattle and Taxi in the paper, measured everywhere) ---
+    let mut fig13_rows = Vec::new();
+    for method in [Method::Cuts, Method::CutsPlus, Method::CutsStar] {
+        let run = run_method(&data, method, None);
+        let t = run.outcome.timings;
+        fig13_rows.push(vec![
+            name.to_string(),
+            method.to_string(),
+            format!("{:.4}", t.simplification.as_secs_f64()),
+            format!("{:.4}", t.filter.as_secs_f64()),
+            format!("{:.4}", t.refinement.as_secs_f64()),
+            format!("{:.4}", t.total().as_secs_f64()),
+        ]);
+    }
+
+    // --- Figure 14 ------------------------------------------------------------
+    let mut fig14_rows = Vec::new();
+    for mode in [ToleranceMode::Global, ToleranceMode::Actual] {
+        let config = CutsConfig::new(CutsVariant::CutsStar).with_tolerance_mode(mode);
+        let run = run_method(&data, Method::CutsStar, Some(config));
+        fig14_rows.push(vec![
+            name.to_string(),
+            mode.name().to_string(),
+            run.outcome.stats.num_candidates.to_string(),
+            format!("{:.0}", run.outcome.stats.refinement_units),
+            format!("{:.4}", run.elapsed_secs()),
+        ]);
+    }
+
+    // --- Figure 15 ------------------------------------------------------------
+    let mut fig15_rows = Vec::new();
+    let deltas15: Vec<f64> = [1.0 / 30.0, 0.1, 0.5 / 3.0, 7.0 / 30.0]
+        .iter()
+        .map(|f| f * data.query.e)
+        .collect();
+    for method in SimplificationMethod::ALL {
+        for &delta in &deltas15 {
+            let started = Instant::now();
+            let simplified: Vec<_> = data
+                .dataset
+                .database
+                .iter()
+                .map(|(_, traj)| method.simplify(traj, delta))
+                .collect();
+            let elapsed = started.elapsed().as_secs_f64();
+            let reduction = ReductionStats::from_simplified(simplified.iter());
+            fig15_rows.push(vec![
+                name.to_string(),
+                method.to_string(),
+                format!("{delta:.1}"),
+                format!("{:.1}", reduction.reduction_percent()),
+                format!("{elapsed:.4}"),
+            ]);
+        }
+    }
+
+    // --- Figure 16 ------------------------------------------------------------
+    let mut fig16_rows = Vec::new();
+    let deltas16: Vec<f64> = [0.125, 1.0, 1.875, 2.75]
+        .iter()
+        .map(|f| f * data.query.e)
+        .collect();
+    for (delta, run) in sweep_delta(&data, &deltas16) {
+        fig16_rows.push(vec![
+            name.to_string(),
+            run.method.to_string(),
+            format!("{delta:.1}"),
+            format!("{:.0}", run.outcome.stats.refinement_units),
+            run.outcome.stats.num_candidates.to_string(),
+            format!("{:.4}", run.elapsed_secs()),
+        ]);
+    }
+
+    // --- Figure 17 ------------------------------------------------------------
+    let mut fig17_rows = Vec::new();
+    for (lambda, run) in sweep_lambda(&data, &[5, 10, 15, 20, 30, 50]) {
+        fig17_rows.push(vec![
+            name.to_string(),
+            run.method.to_string(),
+            lambda.to_string(),
+            format!("{:.0}", run.outcome.stats.refinement_units),
+            run.outcome.stats.num_candidates.to_string(),
+            format!("{:.4}", run.elapsed_secs()),
+        ]);
+    }
+
+    // --- Figure 19 ------------------------------------------------------------
+    let mut fig19_rows = Vec::new();
+    for theta in [0.4, 0.6, 0.8, 1.0] {
+        let reported = mc2(
+            &data.dataset.database,
+            &Mc2Config {
+                e: data.query.e,
+                m: data.query.m,
+                theta,
+            },
+        );
+        let accuracy = compare_result_sets(&reported, &cmc_reference, &data.query);
+        fig19_rows.push(vec![
+            name.to_string(),
+            format!("{theta:.1}"),
+            accuracy.reported.to_string(),
+            accuracy.reference.to_string(),
+            format!("{:.1}", accuracy.false_positive_percent()),
+            format!("{:.1}", accuracy.false_negative_percent()),
+        ]);
+    }
+
+    ProfileResults {
+        table3_row,
+        fig12_rows,
+        fig13_rows,
+        fig14_rows,
+        fig15_rows,
+        fig16_rows,
+        fig17_rows,
+        fig19_rows,
+    }
+}
+
+fn main() {
+    let scale = scale_from_env();
+    eprintln!("# Full experiment suite (scale = {scale})");
+    let started = Instant::now();
+
+    // One worker thread per dataset profile: the profiles are independent, so
+    // this cuts the wall-clock time of the suite roughly in four.
+    let results: Vec<ProfileResults> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = ProfileName::ALL
+            .iter()
+            .map(|name| scope.spawn(move |_| measure_profile(*name, scale)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("profile worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope failed");
+
+    let mut table3 = Report::new(
+        "table3",
+        &[
+            "dataset",
+            "num_objects",
+            "time_domain_length",
+            "avg_trajectory_length",
+            "data_size_points",
+            "m",
+            "k",
+            "e",
+            "delta_auto",
+            "lambda_auto",
+            "convoys_discovered",
+        ],
+    );
+    let mut fig12 = Report::new(
+        "fig12",
+        &["dataset", "method", "elapsed_seconds", "convoys", "speedup_vs_cmc"],
+    );
+    let mut fig13 = Report::new(
+        "fig13",
+        &[
+            "dataset",
+            "method",
+            "simplification_seconds",
+            "filter_seconds",
+            "refinement_seconds",
+            "total_seconds",
+        ],
+    );
+    let mut fig14 = Report::new(
+        "fig14",
+        &[
+            "dataset",
+            "tolerance_mode",
+            "candidates",
+            "refinement_units",
+            "elapsed_seconds",
+        ],
+    );
+    let mut fig15 = Report::new(
+        "fig15",
+        &[
+            "dataset",
+            "method",
+            "delta",
+            "vertex_reduction_percent",
+            "elapsed_seconds",
+        ],
+    );
+    let mut fig16 = Report::new(
+        "fig16",
+        &[
+            "dataset",
+            "method",
+            "delta",
+            "refinement_units",
+            "candidates",
+            "elapsed_seconds",
+        ],
+    );
+    let mut fig17 = Report::new(
+        "fig17",
+        &[
+            "dataset",
+            "method",
+            "lambda",
+            "refinement_units",
+            "candidates",
+            "elapsed_seconds",
+        ],
+    );
+    let mut fig19 = Report::new(
+        "fig19",
+        &[
+            "dataset",
+            "theta",
+            "mc2_reported",
+            "cmc_reference",
+            "false_positive_percent",
+            "false_negative_percent",
+        ],
+    );
+
+    for r in &results {
+        table3.push_row(&r.table3_row);
+        for row in &r.fig12_rows {
+            fig12.push_row(row);
+        }
+        for row in &r.fig13_rows {
+            fig13.push_row(row);
+        }
+        for row in &r.fig14_rows {
+            fig14.push_row(row);
+        }
+        for row in &r.fig15_rows {
+            fig15.push_row(row);
+        }
+        for row in &r.fig16_rows {
+            fig16.push_row(row);
+        }
+        for row in &r.fig17_rows {
+            fig17.push_row(row);
+        }
+        for row in &r.fig19_rows {
+            fig19.push_row(row);
+        }
+    }
+
+    for (title, report) in [
+        ("Table 3", &table3),
+        ("Figure 12", &fig12),
+        ("Figure 13", &fig13),
+        ("Figure 14", &fig14),
+        ("Figure 15", &fig15),
+        ("Figure 16", &fig16),
+        ("Figure 17", &fig17),
+        ("Figure 19", &fig19),
+    ] {
+        println!("\n## {title}");
+        report.emit();
+    }
+
+    eprintln!(
+        "# Completed {} profiles in {:.1} s",
+        results.len(),
+        started.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,43 @@
+//! Reproduces **Figure 12**: total query-processing time of CMC versus the
+//! CuTS family on all four dataset profiles.
+//!
+//! Expected shape (matching the paper): every CuTS variant is several times
+//! faster than CMC on every dataset, with CuTS* the fastest overall; the gap
+//! is widest on the profiles with many missing samples (Car, Taxi), where CMC
+//! pays for interpolating virtual points at every time tick.
+
+use convoy_bench::{prepared, run_method, scale_from_env, Report};
+use convoy_core::Method;
+use traj_datasets::ProfileName;
+
+fn main() {
+    let scale = scale_from_env();
+    let mut report = Report::new(
+        "fig12",
+        &["dataset", "method", "elapsed_seconds", "convoys", "speedup_vs_cmc"],
+    );
+    eprintln!("# Figure 12 reproduction (scale = {scale})");
+
+    for name in ProfileName::ALL {
+        let data = prepared(name, scale);
+        let mut cmc_time = None;
+        for method in Method::ALL {
+            let run = run_method(&data, method, None);
+            let elapsed = run.elapsed_secs();
+            if method == Method::Cmc {
+                cmc_time = Some(elapsed);
+            }
+            let speedup = cmc_time
+                .map(|base| if elapsed > 0.0 { base / elapsed } else { f64::INFINITY })
+                .unwrap_or(1.0);
+            report.push_row(&[
+                name.to_string(),
+                method.to_string(),
+                format!("{elapsed:.4}"),
+                run.outcome.convoys.len().to_string(),
+                format!("{speedup:.2}"),
+            ]);
+        }
+    }
+    report.emit();
+}

@@ -1,0 +1,45 @@
+//! Reproduces **Figure 13**: the breakdown of each CuTS variant's running
+//! time into simplification, filter and refinement, for the Cattle-like and
+//! Taxi-like profiles.
+//!
+//! Expected shape (matching the paper): on the Cattle profile (very few
+//! objects, very long densely-sampled trajectories) simplification dominates;
+//! on the Taxi profile (many objects, short domain) the clustering-heavy
+//! filter dominates and simplification is negligible.
+
+use convoy_bench::{prepared, run_method, scale_from_env, Report};
+use convoy_core::Method;
+use traj_datasets::ProfileName;
+
+fn main() {
+    let scale = scale_from_env();
+    let mut report = Report::new(
+        "fig13",
+        &[
+            "dataset",
+            "method",
+            "simplification_seconds",
+            "filter_seconds",
+            "refinement_seconds",
+            "total_seconds",
+        ],
+    );
+    eprintln!("# Figure 13 reproduction (scale = {scale})");
+
+    for name in [ProfileName::Cattle, ProfileName::Taxi] {
+        let data = prepared(name, scale);
+        for method in [Method::Cuts, Method::CutsPlus, Method::CutsStar] {
+            let run = run_method(&data, method, None);
+            let t = run.outcome.timings;
+            report.push_row(&[
+                name.to_string(),
+                method.to_string(),
+                format!("{:.4}", t.simplification.as_secs_f64()),
+                format!("{:.4}", t.filter.as_secs_f64()),
+                format!("{:.4}", t.refinement.as_secs_f64()),
+                format!("{:.4}", t.total().as_secs_f64()),
+            ]);
+        }
+    }
+    report.emit();
+}

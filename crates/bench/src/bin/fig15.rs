@@ -1,0 +1,58 @@
+//! Reproduces **Figure 15**: comparison of the three trajectory-simplification
+//! methods (DP, DP+, DP*) on the Cattle-like profile — (a) vertex reduction
+//! and (b) simplification elapsed time, as the tolerance δ grows.
+//!
+//! Expected shape (matching the paper): reduction DP ≥ DP+ ≥ DP*, elapsed
+//! time DP+ fastest, DP* slowest, and every method gets faster as δ grows.
+
+use convoy_bench::{prepared, scale_from_env, Report};
+use std::time::Instant;
+use traj_datasets::ProfileName;
+use traj_simplify::{ReductionStats, SimplificationMethod};
+
+fn main() {
+    let scale = scale_from_env();
+    let data = prepared(ProfileName::Cattle, scale);
+    // The paper sweeps δ ∈ {10, 20, 30, 40} (and {10, 30, 50, 70} for the
+    // timing panel) for a dataset with e = 300; we sweep the same fractions
+    // of e so the sweep stays meaningful if the profile's e changes.
+    let e = data.query.e;
+    let deltas: Vec<f64> = [1.0 / 30.0, 2.0 / 30.0, 0.1, 4.0 / 30.0, 0.5 / 3.0, 7.0 / 30.0]
+        .iter()
+        .map(|f| f * e)
+        .collect();
+
+    let mut report = Report::new(
+        "fig15",
+        &[
+            "dataset",
+            "method",
+            "delta",
+            "vertex_reduction_percent",
+            "elapsed_seconds",
+        ],
+    );
+    eprintln!("# Figure 15 reproduction (scale = {scale}, dataset = Cattle)");
+
+    for method in SimplificationMethod::ALL {
+        for &delta in &deltas {
+            let started = Instant::now();
+            let simplified: Vec<_> = data
+                .dataset
+                .database
+                .iter()
+                .map(|(_, traj)| method.simplify(traj, delta))
+                .collect();
+            let elapsed = started.elapsed().as_secs_f64();
+            let stats = ReductionStats::from_simplified(simplified.iter());
+            report.push_row(&[
+                ProfileName::Cattle.to_string(),
+                method.to_string(),
+                format!("{delta:.1}"),
+                format!("{:.1}", stats.reduction_percent()),
+                format!("{elapsed:.4}"),
+            ]);
+        }
+    }
+    report.emit();
+}

@@ -1,0 +1,47 @@
+//! Reproduces **Figure 16**: the effect of the simplification tolerance δ on
+//! (a) the refinement unit — the cost model of the candidates the filter
+//! hands to the refinement step — and (b) the total elapsed time, for the
+//! Car-like and Taxi-like profiles and all three CuTS variants.
+//!
+//! Expected shape (matching the paper): CuTS* has the lowest refinement unit
+//! (its `D*` bound filters tightest), CuTS+ sits between CuTS* and CuTS, and
+//! both the refinement unit and the elapsed time grow as δ grows because a
+//! loose δ inflates the range searches.
+
+use convoy_bench::{prepared, scale_from_env, sweep_delta, Report};
+use traj_datasets::ProfileName;
+
+fn main() {
+    let scale = scale_from_env();
+    let mut report = Report::new(
+        "fig16",
+        &[
+            "dataset",
+            "method",
+            "delta",
+            "refinement_units",
+            "candidates",
+            "elapsed_seconds",
+        ],
+    );
+    eprintln!("# Figure 16 reproduction (scale = {scale})");
+
+    for name in [ProfileName::Car, ProfileName::Taxi] {
+        let data = prepared(name, scale);
+        // The paper sweeps δ ∈ {10, 80, 150, 220} for e = 80 (Car) / 40
+        // (Taxi); sweep the same fractions of e.
+        let e = data.query.e;
+        let deltas: Vec<f64> = [0.125, 1.0, 1.875, 2.75].iter().map(|f| f * e).collect();
+        for (delta, run) in sweep_delta(&data, &deltas) {
+            report.push_row(&[
+                name.to_string(),
+                run.method.to_string(),
+                format!("{delta:.1}"),
+                format!("{:.0}", run.outcome.stats.refinement_units),
+                run.outcome.stats.num_candidates.to_string(),
+                format!("{:.4}", run.elapsed_secs()),
+            ]);
+        }
+    }
+    report.emit();
+}

@@ -1,0 +1,46 @@
+//! Reproduces **Figure 17**: the effect of the time-partition length λ on the
+//! refinement unit and the total elapsed time, for the Truck-like and
+//! Cattle-like profiles and all three CuTS variants.
+//!
+//! Expected shape (matching the paper): a larger λ weakens the filter (the
+//! refinement unit rises); a very small λ costs more clustering passes. CuTS*
+//! keeps the lowest refinement unit across the sweep; on the Cattle profile
+//! (where simplification dominates) CuTS+ is competitive on elapsed time.
+
+use convoy_bench::{prepared, scale_from_env, sweep_lambda, Report};
+use traj_datasets::ProfileName;
+
+fn main() {
+    let scale = scale_from_env();
+    let mut report = Report::new(
+        "fig17",
+        &[
+            "dataset",
+            "method",
+            "lambda",
+            "refinement_units",
+            "candidates",
+            "elapsed_seconds",
+        ],
+    );
+    eprintln!("# Figure 17 reproduction (scale = {scale})");
+
+    let sweeps = [
+        (ProfileName::Truck, vec![5usize, 10, 15, 20]),
+        (ProfileName::Cattle, vec![10usize, 30, 50, 70]),
+    ];
+    for (name, lambdas) in sweeps {
+        let data = prepared(name, scale);
+        for (lambda, run) in sweep_lambda(&data, &lambdas) {
+            report.push_row(&[
+                name.to_string(),
+                run.method.to_string(),
+                lambda.to_string(),
+                format!("{:.0}", run.outcome.stats.refinement_units),
+                run.outcome.stats.num_candidates.to_string(),
+                format!("{:.4}", run.elapsed_secs()),
+            ]);
+        }
+    }
+    report.emit();
+}

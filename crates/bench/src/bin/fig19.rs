@@ -1,0 +1,54 @@
+//! Reproduces **Figure 19** (Appendix B.1): the accuracy of using a
+//! moving-cluster algorithm (MC2) for convoy discovery — false positives (a)
+//! and false negatives (b) as the overlap threshold θ varies, on all four
+//! dataset profiles, measured against the CMC result as ground truth.
+//!
+//! Expected shape (matching the paper): MC2 reports many chains that are not
+//! convoys (no lifetime constraint), so the false-positive rate is high
+//! everywhere and grows with θ; false negatives also rise with θ because a
+//! strict overlap requirement fragments long convoys.
+
+use convoy_bench::{prepared, run_method, scale_from_env, Report};
+use convoy_core::{compare_result_sets, mc2, Mc2Config, Method};
+use traj_datasets::ProfileName;
+
+fn main() {
+    let scale = scale_from_env();
+    let thetas = [0.4, 0.6, 0.8, 1.0];
+    let mut report = Report::new(
+        "fig19",
+        &[
+            "dataset",
+            "theta",
+            "mc2_reported",
+            "cmc_reference",
+            "false_positive_percent",
+            "false_negative_percent",
+        ],
+    );
+    eprintln!("# Figure 19 reproduction (scale = {scale})");
+
+    for name in ProfileName::ALL {
+        let data = prepared(name, scale);
+        let reference = run_method(&data, Method::Cmc, None);
+        for theta in thetas {
+            let config = Mc2Config {
+                e: data.query.e,
+                m: data.query.m,
+                theta,
+            };
+            let reported = mc2(&data.dataset.database, &config);
+            let accuracy =
+                compare_result_sets(&reported, &reference.outcome.convoys, &data.query);
+            report.push_row(&[
+                name.to_string(),
+                format!("{theta:.1}"),
+                accuracy.reported.to_string(),
+                accuracy.reference.to_string(),
+                format!("{:.1}", accuracy.false_positive_percent()),
+                format!("{:.1}", accuracy.false_negative_percent()),
+            ]);
+        }
+    }
+    report.emit();
+}

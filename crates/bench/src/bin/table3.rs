@@ -1,0 +1,48 @@
+//! Reproduces **Table 3** of the paper: per-dataset statistics, the query and
+//! internal parameters used throughout the experiments, and the number of
+//! convoys discovered (by CuTS*, whose result set equals CMC's).
+
+use convoy_bench::{prepared, run_method, scale_from_env, Report};
+use convoy_core::Method;
+use traj_datasets::ProfileName;
+
+fn main() {
+    let scale = scale_from_env();
+    let mut report = Report::new(
+        "table3",
+        &[
+            "dataset",
+            "num_objects",
+            "time_domain_length",
+            "avg_trajectory_length",
+            "data_size_points",
+            "m",
+            "k",
+            "e",
+            "delta_auto",
+            "lambda_auto",
+            "convoys_discovered",
+        ],
+    );
+
+    eprintln!("# Table 3 reproduction (scale = {scale})");
+    for name in ProfileName::ALL {
+        let data = prepared(name, scale);
+        let stats = data.dataset.database.stats();
+        let run = run_method(&data, Method::CutsStar, None);
+        report.push_row(&[
+            name.to_string(),
+            stats.num_objects.to_string(),
+            stats.time_domain_length.to_string(),
+            format!("{:.1}", stats.average_trajectory_length),
+            stats.total_points.to_string(),
+            data.query.m.to_string(),
+            data.query.k.to_string(),
+            format!("{}", data.query.e),
+            format!("{:.2}", run.outcome.stats.delta),
+            run.outcome.stats.lambda.to_string(),
+            run.outcome.convoys.len().to_string(),
+        ]);
+    }
+    report.emit();
+}

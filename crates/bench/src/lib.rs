@@ -1,0 +1,38 @@
+//! # `convoy-bench` — the experiment harness
+//!
+//! This crate regenerates every table and figure of the paper's evaluation
+//! section on the synthetic dataset profiles of [`traj_datasets`]:
+//!
+//! | Binary / bench            | Paper artefact | Content |
+//! |---------------------------|----------------|---------|
+//! | `table3`                  | Table 3        | Dataset statistics, chosen parameters, number of convoys discovered |
+//! | `fig12`                   | Figure 12      | Elapsed time of CMC vs the CuTS family on all four datasets |
+//! | `fig13`                   | Figure 13      | Cost breakdown (simplification / filter / refinement), Cattle & Taxi |
+//! | `fig14`                   | Figure 14      | Effect of actual vs global tolerance on candidates and elapsed time |
+//! | `fig15`                   | Figure 15      | Simplification methods: vertex reduction and elapsed time vs δ (Cattle) |
+//! | `fig16`                   | Figure 16      | Effect of δ on refinement units and elapsed time (Car & Taxi) |
+//! | `fig17`                   | Figure 17      | Effect of λ on refinement units and elapsed time (Truck & Cattle) |
+//! | `fig19`                   | Figure 19      | MC2 false positives / false negatives vs θ on all four datasets |
+//! | `all_experiments`         | —              | Runs everything above and collects the CSVs |
+//!
+//! Every binary prints its series as CSV to stdout and also writes it under
+//! `bench_results/`. The Criterion benches under `benches/` wrap the same
+//! runners for statistically robust timing.
+//!
+//! ## Scaling
+//!
+//! The synthetic profiles default to a fraction of the paper's dataset sizes
+//! so that the whole suite runs in minutes on a laptop. Set the environment
+//! variable `CONVOY_SCALE` (e.g. `CONVOY_SCALE=1.0`) to change the fraction;
+//! relative comparisons between algorithms are stable across scales.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod prepare;
+pub mod report;
+pub mod runner;
+
+pub use prepare::{bench_scale, prepared, scale_from_env, PreparedDataset, DEFAULT_SCALE};
+pub use report::Report;
+pub use runner::{run_method, sweep_delta, sweep_lambda, MeasuredRun};

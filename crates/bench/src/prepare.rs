@@ -1,0 +1,94 @@
+//! Dataset preparation shared by every experiment binary and bench.
+
+use traj_datasets::{generate, DatasetProfile, GeneratedDataset, ProfileName};
+use convoy_core::ConvoyQuery;
+
+/// Default scale applied to the paper-sized profiles when `CONVOY_SCALE` is
+/// not set: large enough that the algorithmic trade-offs are visible, small
+/// enough that the whole suite runs in minutes.
+pub const DEFAULT_SCALE: f64 = 0.15;
+
+/// Scale used by the Criterion benches (which execute each runner many
+/// times); can be overridden with `CONVOY_BENCH_SCALE`.
+pub const BENCH_SCALE: f64 = 0.05;
+
+/// The seed every experiment uses, so that figures are reproducible
+/// run-to-run.
+pub const SEED: u64 = 20080824; // VLDB 2008 started on 24 August 2008.
+
+/// A dataset prepared for experiments: the generated data plus the convoy
+/// query the paper's Table 3 associates with that dataset.
+#[derive(Debug, Clone)]
+pub struct PreparedDataset {
+    /// Which profile this is.
+    pub name: ProfileName,
+    /// The (possibly scaled) profile used for the generation.
+    pub profile: DatasetProfile,
+    /// The generated database and ground truth.
+    pub dataset: GeneratedDataset,
+    /// The convoy query matching the profile's Table 3 parameters.
+    pub query: ConvoyQuery,
+}
+
+/// Reads the experiment scale from `CONVOY_SCALE`, falling back to
+/// [`DEFAULT_SCALE`].
+pub fn scale_from_env() -> f64 {
+    std::env::var("CONVOY_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| *v > 0.0)
+        .unwrap_or(DEFAULT_SCALE)
+}
+
+/// Reads the Criterion bench scale from `CONVOY_BENCH_SCALE`, falling back to
+/// [`BENCH_SCALE`].
+pub fn bench_scale() -> f64 {
+    std::env::var("CONVOY_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| *v > 0.0)
+        .unwrap_or(BENCH_SCALE)
+}
+
+/// Generates the dataset for one profile at the given scale, together with
+/// its Table 3 query parameters.
+pub fn prepared(name: ProfileName, scale: f64) -> PreparedDataset {
+    let profile = DatasetProfile::named(name).scaled(scale);
+    let dataset = generate(&profile, SEED);
+    let query = ConvoyQuery::new(profile.m, profile.k, profile.e);
+    PreparedDataset {
+        name,
+        profile,
+        dataset,
+        query,
+    }
+}
+
+/// Prepares all four profiles at the given scale.
+pub fn prepare_all(scale: f64) -> Vec<PreparedDataset> {
+    ProfileName::ALL
+        .iter()
+        .map(|name| prepared(*name, scale))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepared_dataset_is_consistent_with_its_profile() {
+        let p = prepared(ProfileName::Taxi, 0.02);
+        assert_eq!(p.name, ProfileName::Taxi);
+        assert_eq!(p.query.m, p.profile.m);
+        assert_eq!(p.query.e, p.profile.e);
+        assert_eq!(p.dataset.database.len(), p.profile.num_objects);
+    }
+
+    #[test]
+    fn scale_parsing_falls_back_to_default() {
+        // The environment variable is not set in the test harness.
+        assert!(scale_from_env() > 0.0);
+        assert!(bench_scale() > 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! CSV reporting: every experiment binary prints its series to stdout and
+//! writes the same rows under `bench_results/`.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A simple CSV report: a header plus rows, echoed to stdout and written to
+/// `bench_results/<name>.csv`.
+#[derive(Debug, Clone)]
+pub struct Report {
+    name: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Creates a report with the given file stem and column names.
+    pub fn new<S: Into<String>>(name: S, header: &[&str]) -> Self {
+        Report {
+            name: name.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. The number of fields should match the header; shorter
+    /// rows are padded with empty strings so a malformed caller cannot panic
+    /// the harness.
+    pub fn push_row(&mut self, fields: &[String]) {
+        let mut row: Vec<String> = fields.to_vec();
+        while row.len() < self.header.len() {
+            row.push(String::new());
+        }
+        self.rows.push(row);
+    }
+
+    /// Convenience: appends a row of display-able fields.
+    pub fn row<D: std::fmt::Display>(&mut self, fields: &[D]) {
+        self.push_row(&fields.iter().map(|f| f.to_string()).collect::<Vec<_>>());
+    }
+
+    /// Number of data rows collected so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when no rows have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The report serialised as CSV text.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the CSV to stdout and writes it to `dir/<name>.csv`, returning
+    /// the written path. IO errors are reported on stderr but do not abort
+    /// the experiment (stdout output is the primary artefact).
+    pub fn emit_to(&self, dir: &Path) -> Option<PathBuf> {
+        let csv = self.to_csv();
+        print!("{csv}");
+        if let Err(e) = fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return None;
+        }
+        let path = dir.join(format!("{}.csv", self.name));
+        match fs::File::create(&path).and_then(|mut f| f.write_all(csv.as_bytes())) {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+                None
+            }
+        }
+    }
+
+    /// Prints the CSV to stdout and writes it under `bench_results/` in the
+    /// current directory.
+    pub fn emit(&self) -> Option<PathBuf> {
+        self.emit_to(Path::new("bench_results"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_rendering_and_padding() {
+        let mut report = Report::new("unit", &["a", "b", "c"]);
+        report.row(&["1", "2", "3"]);
+        report.push_row(&["x".to_string()]);
+        let csv = report.to_csv();
+        assert_eq!(csv, "a,b,c\n1,2,3\nx,,\n");
+        assert_eq!(report.len(), 2);
+        assert!(!report.is_empty());
+    }
+
+    #[test]
+    fn emit_writes_the_file() {
+        let dir = std::env::temp_dir().join("convoy-bench-report-test");
+        let mut report = Report::new("emit_test", &["x"]);
+        report.row(&[42]);
+        let path = report.emit_to(&dir).expect("emit must succeed");
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(written.contains("42"));
+        std::fs::remove_file(path).ok();
+    }
+}

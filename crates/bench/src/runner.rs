@@ -1,0 +1,110 @@
+//! Experiment runners: one measured discovery run, and the δ / λ parameter
+//! sweeps used by Figures 16 and 17.
+
+use crate::prepare::PreparedDataset;
+use convoy_core::{CutsConfig, Discovery, DiscoveryOutcome, Method};
+use std::time::Duration;
+
+/// One measured discovery run with convenient accessors for reporting.
+#[derive(Debug, Clone)]
+pub struct MeasuredRun {
+    /// The dataset name the run was executed on.
+    pub dataset: String,
+    /// The method that was run.
+    pub method: Method,
+    /// The discovery outcome (convoys, timings, statistics).
+    pub outcome: DiscoveryOutcome,
+}
+
+impl MeasuredRun {
+    /// Total elapsed wall-clock time of the run.
+    pub fn elapsed(&self) -> Duration {
+        self.outcome.timings.total()
+    }
+
+    /// Elapsed time in seconds (convenient for CSV output).
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+}
+
+/// Runs one method on a prepared dataset with an optional CuTS configuration
+/// override.
+pub fn run_method(
+    prepared: &PreparedDataset,
+    method: Method,
+    config: Option<CutsConfig>,
+) -> MeasuredRun {
+    let mut discovery = Discovery::new(method);
+    if let Some(config) = config {
+        discovery = discovery.with_config(config);
+    }
+    let outcome = discovery.run(&prepared.dataset.database, &prepared.query);
+    MeasuredRun {
+        dataset: prepared.name.to_string(),
+        method,
+        outcome,
+    }
+}
+
+/// Runs the three CuTS variants over a sweep of δ values (Figure 16).
+/// Returns one measured run per (δ, method) pair, in sweep order.
+pub fn sweep_delta(prepared: &PreparedDataset, deltas: &[f64]) -> Vec<(f64, MeasuredRun)> {
+    let mut out = Vec::with_capacity(deltas.len() * 3);
+    for &delta in deltas {
+        for method in [Method::Cuts, Method::CutsPlus, Method::CutsStar] {
+            let config = CutsConfig::new(method.cuts_variant().expect("CuTS method"))
+                .with_delta(delta);
+            out.push((delta, run_method(prepared, method, Some(config))));
+        }
+    }
+    out
+}
+
+/// Runs the three CuTS variants over a sweep of λ values (Figure 17).
+pub fn sweep_lambda(prepared: &PreparedDataset, lambdas: &[usize]) -> Vec<(usize, MeasuredRun)> {
+    let mut out = Vec::with_capacity(lambdas.len() * 3);
+    for &lambda in lambdas {
+        for method in [Method::Cuts, Method::CutsPlus, Method::CutsStar] {
+            let config = CutsConfig::new(method.cuts_variant().expect("CuTS method"))
+                .with_lambda(lambda);
+            out.push((lambda, run_method(prepared, method, Some(config))));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prepare::prepared;
+    use convoy_core::query::result_sets_equivalent;
+    use traj_datasets::ProfileName;
+
+    #[test]
+    fn all_methods_produce_equivalent_results_on_a_profile() {
+        let data = prepared(ProfileName::Truck, 0.02);
+        let reference = run_method(&data, Method::Cmc, None);
+        for method in [Method::Cuts, Method::CutsPlus, Method::CutsStar] {
+            let run = run_method(&data, method, None);
+            assert!(
+                result_sets_equivalent(&run.outcome.convoys, &reference.outcome.convoys),
+                "{method} and CMC disagree on {:?}",
+                data.name
+            );
+        }
+    }
+
+    #[test]
+    fn sweeps_cover_every_parameter_and_method() {
+        let data = prepared(ProfileName::Taxi, 0.02);
+        let runs = sweep_delta(&data, &[1.0, 10.0]);
+        assert_eq!(runs.len(), 6);
+        assert!(runs.iter().all(|(d, r)| (*d - r.outcome.stats.delta).abs() < 1e-12));
+        let runs = sweep_lambda(&data, &[4, 8, 16]);
+        assert_eq!(runs.len(), 9);
+        assert!(runs
+            .iter()
+            .all(|(l, r)| *l == r.outcome.stats.lambda));
+    }
+}

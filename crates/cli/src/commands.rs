@@ -1,0 +1,464 @@
+//! The `convoy` subcommands. Every command is a pure function from parsed
+//! arguments to a rendered report string, so the logic is unit-testable
+//! without spawning processes.
+
+use crate::args::{ArgError, ParsedArgs};
+use convoy_core::{
+    compare_result_sets, mc2, CutsConfig, CutsVariant, Discovery, ConvoyQuery, Mc2Config, Method,
+};
+use traj_datasets::io::{read_csv_file, write_csv_file};
+use traj_datasets::{generate, DatasetProfile, ProfileName};
+use traj_simplify::{ReductionStats, SimplificationMethod, ToleranceMode};
+use trajectory::TrajectoryDatabase;
+
+/// A command error: either bad arguments or a failure while executing.
+#[derive(Debug)]
+pub struct CommandError(pub String);
+
+impl std::fmt::Display for CommandError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CommandError {}
+
+impl From<ArgError> for CommandError {
+    fn from(e: ArgError) -> Self {
+        CommandError(e.to_string())
+    }
+}
+
+impl From<trajectory::TrajectoryError> for CommandError {
+    fn from(e: trajectory::TrajectoryError) -> Self {
+        CommandError(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for CommandError {
+    fn from(e: std::io::Error) -> Self {
+        CommandError(e.to_string())
+    }
+}
+
+/// The usage text printed by `convoy help`.
+pub const USAGE: &str = "\
+convoy — convoy discovery in trajectory databases (VLDB 2008 reproduction)
+
+USAGE:
+    convoy <command> [arguments]
+
+COMMANDS:
+    generate  --profile truck|cattle|car|taxi [--scale F] [--seed N] --out FILE
+              Generate a synthetic trajectory CSV with planted convoys.
+    stats     FILE
+              Print Table-3-style statistics of a trajectory CSV.
+    discover  FILE [--method cmc|cuts|cuts-plus|cuts-star] --m N --k N --e F
+              [--delta F] [--lambda N] [--global-tolerance]
+              Run a convoy query and print the discovered convoys.
+    simplify  FILE --delta F [--method dp|dp-plus|dp-star]
+              Report the vertex reduction of trajectory simplification.
+    compare   FILE --m N --k N --e F [--theta F]
+              Compare MC2 (moving clusters) against CMC on a convoy query.
+    help      Show this message.
+";
+
+fn parse_method(name: &str) -> Result<Method, CommandError> {
+    match name.to_ascii_lowercase().as_str() {
+        "cmc" => Ok(Method::Cmc),
+        "cuts" => Ok(Method::Cuts),
+        "cuts-plus" | "cuts+" => Ok(Method::CutsPlus),
+        "cuts-star" | "cuts*" => Ok(Method::CutsStar),
+        other => Err(CommandError(format!(
+            "unknown method `{other}` (expected cmc, cuts, cuts-plus or cuts-star)"
+        ))),
+    }
+}
+
+fn parse_profile(name: &str) -> Result<ProfileName, CommandError> {
+    match name.to_ascii_lowercase().as_str() {
+        "truck" => Ok(ProfileName::Truck),
+        "cattle" => Ok(ProfileName::Cattle),
+        "car" => Ok(ProfileName::Car),
+        "taxi" => Ok(ProfileName::Taxi),
+        other => Err(CommandError(format!(
+            "unknown profile `{other}` (expected truck, cattle, car or taxi)"
+        ))),
+    }
+}
+
+fn parse_simplifier(name: &str) -> Result<SimplificationMethod, CommandError> {
+    match name.to_ascii_lowercase().as_str() {
+        "dp" => Ok(SimplificationMethod::Dp),
+        "dp-plus" | "dp+" => Ok(SimplificationMethod::DpPlus),
+        "dp-star" | "dp*" => Ok(SimplificationMethod::DpStar),
+        other => Err(CommandError(format!(
+            "unknown simplification method `{other}` (expected dp, dp-plus or dp-star)"
+        ))),
+    }
+}
+
+fn load_database(args: &ParsedArgs) -> Result<(String, TrajectoryDatabase), CommandError> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CommandError("missing input CSV path".into()))?;
+    let db = read_csv_file(path)?;
+    Ok((path.clone(), db))
+}
+
+fn query_from_args(args: &ParsedArgs) -> Result<ConvoyQuery, CommandError> {
+    let m: usize = args.require_parsed("m")?;
+    let k: usize = args.require_parsed("k")?;
+    let e: f64 = args.require_parsed("e")?;
+    if e <= 0.0 {
+        return Err(CommandError("--e must be positive".into()));
+    }
+    Ok(ConvoyQuery::new(m, k, e))
+}
+
+/// `convoy generate`: write a synthetic dataset CSV.
+pub fn generate_command(args: &ParsedArgs) -> Result<String, CommandError> {
+    args.reject_unknown(&["profile", "scale", "seed", "out"])?;
+    let profile_name = parse_profile(
+        args.get("profile")
+            .ok_or_else(|| CommandError("missing --profile".into()))?,
+    )?;
+    let scale: f64 = args.get_parsed_or("scale", 0.1)?;
+    let seed: u64 = args.get_parsed_or("seed", 42)?;
+    let out = args
+        .get("out")
+        .ok_or_else(|| CommandError("missing --out".into()))?;
+
+    let profile = DatasetProfile::named(profile_name).scaled(scale);
+    let dataset = generate(&profile, seed);
+    write_csv_file(&dataset.database, out)?;
+
+    let stats = dataset.database.stats();
+    Ok(format!(
+        "wrote {out}\nprofile: {profile_name} (scale {scale}, seed {seed})\n{}\nplanted convoys: {}\nsuggested query: --m {} --k {} --e {}",
+        stats.to_table(),
+        dataset.ground_truth.len(),
+        profile.m,
+        profile.k,
+        profile.e
+    ))
+}
+
+/// `convoy stats`: Table-3-style statistics of a CSV.
+pub fn stats_command(args: &ParsedArgs) -> Result<String, CommandError> {
+    args.reject_unknown(&[])?;
+    let (path, db) = load_database(args)?;
+    let stats = db.stats();
+    let domain = db
+        .time_domain()
+        .map(|d| format!("[{}, {}]", d.start, d.end))
+        .unwrap_or_else(|| "(empty)".into());
+    Ok(format!(
+        "{path}\n{}\ntime domain: {domain}",
+        stats.to_table()
+    ))
+}
+
+/// `convoy discover`: run a convoy query on a CSV.
+pub fn discover_command(args: &ParsedArgs) -> Result<String, CommandError> {
+    args.reject_unknown(&[
+        "method",
+        "m",
+        "k",
+        "e",
+        "delta",
+        "lambda",
+        "global-tolerance",
+        "limit",
+    ])?;
+    let (path, db) = load_database(args)?;
+    let query = query_from_args(args)?;
+    let method = parse_method(args.get("method").unwrap_or("cuts-star"))?;
+
+    let mut config = CutsConfig::new(method.cuts_variant().unwrap_or(CutsVariant::CutsStar));
+    if let Some(delta) = args.get("delta") {
+        config = config.with_delta(
+            delta
+                .parse()
+                .map_err(|_| CommandError(format!("cannot parse --delta value `{delta}`")))?,
+        );
+    }
+    if let Some(lambda) = args.get("lambda") {
+        config = config.with_lambda(
+            lambda
+                .parse()
+                .map_err(|_| CommandError(format!("cannot parse --lambda value `{lambda}`")))?,
+        );
+    }
+    if args.has_flag("global-tolerance") {
+        config = config.with_tolerance_mode(ToleranceMode::Global);
+    }
+
+    let outcome = Discovery::new(method).with_config(config).run(&db, &query);
+    let limit: usize = args.get_parsed_or("limit", 50)?;
+
+    let mut out = format!(
+        "{path}: {} convoy(s) found by {} in {:.3} s (m={}, k={}, e={})\n",
+        outcome.convoys.len(),
+        method.name(),
+        outcome.timings.total().as_secs_f64(),
+        query.m,
+        query.k,
+        query.e
+    );
+    if method != Method::Cmc {
+        out.push_str(&format!(
+            "filter: {} candidates, δ={:.2}, λ={}, vertex reduction {:.1}%\n",
+            outcome.stats.num_candidates,
+            outcome.stats.delta,
+            outcome.stats.lambda,
+            outcome.stats.reduction_percent
+        ));
+    }
+    for convoy in outcome.convoys.iter().take(limit) {
+        out.push_str(&format!("  {convoy}\n"));
+    }
+    if outcome.convoys.len() > limit {
+        out.push_str(&format!("  … and {} more\n", outcome.convoys.len() - limit));
+    }
+    Ok(out)
+}
+
+/// `convoy simplify`: report vertex reduction for a tolerance.
+pub fn simplify_command(args: &ParsedArgs) -> Result<String, CommandError> {
+    args.reject_unknown(&["delta", "method"])?;
+    let (path, db) = load_database(args)?;
+    let delta: f64 = args.require_parsed("delta")?;
+    if delta < 0.0 {
+        return Err(CommandError("--delta must be non-negative".into()));
+    }
+    let method = parse_simplifier(args.get("method").unwrap_or("dp"))?;
+    let simplified: Vec<_> = db.iter().map(|(_, t)| method.simplify(t, delta)).collect();
+    let stats = ReductionStats::from_simplified(simplified.iter());
+    Ok(format!(
+        "{path}: {} with δ={delta}\n\
+         trajectories: {}\n\
+         points: {} → {} ({:.1}% reduction, factor {:.2})\n\
+         max actual tolerance: {:.3}\n\
+         mean actual tolerance: {:.3}",
+        method.name(),
+        stats.num_trajectories,
+        stats.original_points,
+        stats.simplified_points,
+        stats.reduction_percent(),
+        stats.reduction_factor(),
+        stats.max_actual_tolerance,
+        stats.mean_actual_tolerance,
+    ))
+}
+
+/// `convoy compare`: MC2 accuracy against CMC (the Figure 19 experiment on
+/// the user's own data).
+pub fn compare_command(args: &ParsedArgs) -> Result<String, CommandError> {
+    args.reject_unknown(&["m", "k", "e", "theta"])?;
+    let (path, db) = load_database(args)?;
+    let query = query_from_args(args)?;
+    let theta: f64 = args.get_parsed_or("theta", 0.8)?;
+    if !(0.0..=1.0).contains(&theta) {
+        return Err(CommandError("--theta must be within [0, 1]".into()));
+    }
+
+    let reference = Discovery::new(Method::Cmc).run(&db, &query);
+    let reported = mc2(
+        &db,
+        &Mc2Config {
+            e: query.e,
+            m: query.m,
+            theta,
+        },
+    );
+    let accuracy = compare_result_sets(&reported, &reference.convoys, &query);
+    Ok(format!(
+        "{path}: MC2 (θ={theta}) vs CMC ground truth\n\
+         CMC convoys: {}\n\
+         MC2 reported chains: {}\n\
+         false positives: {} ({:.1}%)\n\
+         false negatives: {} ({:.1}%)",
+        accuracy.reference,
+        accuracy.reported,
+        accuracy.false_positives,
+        accuracy.false_positive_percent(),
+        accuracy.false_negatives,
+        accuracy.false_negative_percent(),
+    ))
+}
+
+/// Dispatches a subcommand by name.
+pub fn run(command: &str, args: &ParsedArgs) -> Result<String, CommandError> {
+    match command {
+        "generate" => generate_command(args),
+        "stats" => stats_command(args),
+        "discover" => discover_command(args),
+        "simplify" => simplify_command(args),
+        "compare" => compare_command(args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CommandError(format!(
+            "unknown command `{other}`\n\n{USAGE}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_csv(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("convoy-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn generate_fixture(name: &str) -> String {
+        let path = temp_csv(name);
+        let args = ParsedArgs::parse([
+            "--profile",
+            "truck",
+            "--scale",
+            "0.02",
+            "--seed",
+            "7",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        generate_command(&args).expect("generation succeeds");
+        path.to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn generate_and_stats_round_trip() {
+        let path = generate_fixture("gen.csv");
+        let args = ParsedArgs::parse([path.as_str()]).unwrap();
+        let report = stats_command(&args).unwrap();
+        assert!(report.contains("number of objects"));
+        assert!(report.contains("time domain"));
+    }
+
+    #[test]
+    fn discover_finds_planted_convoys_on_generated_data() {
+        let path = generate_fixture("disc.csv");
+        // The generate command prints the suggested query; use the profile's
+        // scaled parameters directly here.
+        let profile = DatasetProfile::truck().scaled(0.02);
+        let args = ParsedArgs::parse([
+            path.as_str(),
+            "--method",
+            "cuts-star",
+            "--m",
+            &profile.m.to_string(),
+            "--k",
+            &profile.k.to_string(),
+            "--e",
+            &profile.e.to_string(),
+        ])
+        .unwrap();
+        let report = discover_command(&args).unwrap();
+        assert!(report.contains("convoy(s) found by CuTS*"));
+        assert!(report.contains("candidates"));
+    }
+
+    #[test]
+    fn discover_rejects_bad_arguments() {
+        let path = generate_fixture("bad.csv");
+        // Missing --e.
+        let args = ParsedArgs::parse([path.as_str(), "--m", "3", "--k", "10"]).unwrap();
+        assert!(discover_command(&args).is_err());
+        // Unknown option.
+        let args =
+            ParsedArgs::parse([path.as_str(), "--m", "3", "--k", "10", "--e", "5", "--bogus", "1"])
+                .unwrap();
+        assert!(discover_command(&args).is_err());
+        // Unknown method.
+        let args = ParsedArgs::parse([
+            path.as_str(),
+            "--m",
+            "3",
+            "--k",
+            "10",
+            "--e",
+            "5",
+            "--method",
+            "flock",
+        ])
+        .unwrap();
+        assert!(discover_command(&args).is_err());
+        // Missing file.
+        let args = ParsedArgs::parse(["/no/such/file.csv", "--m", "3", "--k", "1", "--e", "5"])
+            .unwrap();
+        assert!(discover_command(&args).is_err());
+    }
+
+    #[test]
+    fn simplify_reports_reduction() {
+        let path = generate_fixture("simp.csv");
+        for method in ["dp", "dp-plus", "dp-star"] {
+            let args =
+                ParsedArgs::parse([path.as_str(), "--delta", "2.0", "--method", method]).unwrap();
+            let report = simplify_command(&args).unwrap();
+            assert!(report.contains("reduction"), "{method}: {report}");
+        }
+        let args = ParsedArgs::parse([path.as_str(), "--delta", "-1"]).unwrap();
+        assert!(simplify_command(&args).is_err());
+    }
+
+    #[test]
+    fn compare_reports_accuracy() {
+        let path = generate_fixture("cmp.csv");
+        let profile = DatasetProfile::truck().scaled(0.02);
+        let args = ParsedArgs::parse([
+            path.as_str(),
+            "--m",
+            &profile.m.to_string(),
+            "--k",
+            &profile.k.to_string(),
+            "--e",
+            &profile.e.to_string(),
+            "--theta",
+            "0.9",
+        ])
+        .unwrap();
+        let report = compare_command(&args).unwrap();
+        assert!(report.contains("false positives"));
+        assert!(report.contains("false negatives"));
+        // θ out of range is rejected.
+        let args = ParsedArgs::parse([
+            path.as_str(),
+            "--m",
+            "2",
+            "--k",
+            "5",
+            "--e",
+            "5",
+            "--theta",
+            "1.5",
+        ])
+        .unwrap();
+        assert!(compare_command(&args).is_err());
+    }
+
+    #[test]
+    fn dispatch_and_help() {
+        assert!(run("help", &ParsedArgs::default()).unwrap().contains("USAGE"));
+        assert!(run("no-such-command", &ParsedArgs::default()).is_err());
+    }
+
+    #[test]
+    fn method_and_profile_parsing() {
+        assert_eq!(parse_method("CUTS-STAR").unwrap(), Method::CutsStar);
+        assert_eq!(parse_method("cuts+").unwrap(), Method::CutsPlus);
+        assert!(parse_method("flock").is_err());
+        assert_eq!(parse_profile("Cattle").unwrap(), ProfileName::Cattle);
+        assert!(parse_profile("birds").is_err());
+        assert_eq!(
+            parse_simplifier("dp*").unwrap(),
+            SimplificationMethod::DpStar
+        );
+        assert!(parse_simplifier("rdp").is_err());
+    }
+}

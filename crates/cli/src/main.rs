@@ -1,0 +1,31 @@
+//! `convoy` — the command-line front end for convoy discovery.
+//!
+//! Run `convoy help` for usage. All real work lives in [`commands`]; `main`
+//! only handles process-level concerns (argument splitting, exit codes).
+
+mod args;
+mod commands;
+
+use args::ParsedArgs;
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else {
+        eprintln!("{}", commands::USAGE);
+        std::process::exit(2);
+    };
+    let parsed = match ParsedArgs::parse(argv) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    match commands::run(&command, &parsed) {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

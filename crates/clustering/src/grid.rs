@@ -1,0 +1,266 @@
+//! A uniform-grid spatial index for e-range search over point snapshots, and
+//! snapshot clustering built on top of it.
+//!
+//! Snapshot clustering (DBSCAN over the objects' positions at one time point)
+//! is the inner loop of both the CMC algorithm and the CuTS refinement step,
+//! so its e-neighbourhood search must not be quadratic. A uniform grid with
+//! cell side `e` answers each neighbourhood query by inspecting at most nine
+//! cells.
+
+use crate::cluster::Cluster;
+use crate::dbscan::{dbscan, labels_to_clusters, Label, RegionQuery};
+use std::collections::HashMap;
+use trajectory::geometry::Point;
+use trajectory::{ObjectId, Snapshot};
+
+/// A uniform-grid index over a fixed set of points.
+///
+/// The grid cell side equals the query radius `epsilon`, so the
+/// e-neighbourhood of a point is always contained in the 3×3 block of cells
+/// around the point's own cell.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    points: Vec<Point>,
+    epsilon: f64,
+    cells: HashMap<(i64, i64), Vec<usize>>,
+}
+
+impl GridIndex {
+    /// Builds the index over `points` for range queries of radius `epsilon`.
+    /// A non-positive `epsilon` is clamped to a tiny positive value so that
+    /// degenerate queries still terminate.
+    pub fn build(points: Vec<Point>, epsilon: f64) -> Self {
+        let epsilon = if epsilon > 0.0 { epsilon } else { f64::EPSILON };
+        let mut cells: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+        for (i, p) in points.iter().enumerate() {
+            cells.entry(Self::cell_of(p, epsilon)).or_default().push(i);
+        }
+        GridIndex {
+            points,
+            epsilon,
+            cells,
+        }
+    }
+
+    #[inline]
+    fn cell_of(p: &Point, epsilon: f64) -> (i64, i64) {
+        ((p.x / epsilon).floor() as i64, (p.y / epsilon).floor() as i64)
+    }
+
+    /// The number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The indexed points.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Indices of all points within `epsilon` of `target` (including the
+    /// target itself when it is one of the indexed points).
+    pub fn range_query(&self, target: &Point) -> Vec<usize> {
+        let (cx, cy) = Self::cell_of(target, self.epsilon);
+        let eps_sq = self.epsilon * self.epsilon;
+        let mut out = Vec::new();
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(bucket) = self.cells.get(&(cx + dx, cy + dy)) {
+                    for &i in bucket {
+                        if self.points[i].distance_squared(target) <= eps_sq {
+                            out.push(i);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl RegionQuery for GridIndex {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn neighbors(&self, idx: usize) -> Vec<usize> {
+        self.range_query(&self.points[idx])
+    }
+}
+
+/// Density-clusters the objects of a snapshot (DBSCAN with range `e` and
+/// density threshold `m`), returning clusters of object ids.
+///
+/// This is the `DBSCAN(O_t, e, m)` call of Algorithm 1 (CMC) and of the CuTS
+/// refinement step. Objects labelled as noise are not reported.
+pub fn snapshot_clusters(snapshot: &Snapshot, e: f64, m: usize) -> Vec<Cluster> {
+    if snapshot.len() < m {
+        return Vec::new();
+    }
+    let ids: Vec<ObjectId> = snapshot.entries.iter().map(|entry| entry.id).collect();
+    let points: Vec<Point> = snapshot.entries.iter().map(|entry| entry.position).collect();
+    let index = GridIndex::build(points, e);
+    let labels = dbscan(&index, m);
+    labels_to_clusters(&labels)
+        .into_iter()
+        .map(|members| Cluster::new(members.into_iter().map(|i| ids[i]).collect()))
+        .collect()
+}
+
+/// Like [`snapshot_clusters`] but also reports the noise objects, which some
+/// analyses (and tests) need.
+pub fn snapshot_clusters_with_noise(
+    snapshot: &Snapshot,
+    e: f64,
+    m: usize,
+) -> (Vec<Cluster>, Vec<ObjectId>) {
+    if snapshot.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    let ids: Vec<ObjectId> = snapshot.entries.iter().map(|entry| entry.id).collect();
+    let points: Vec<Point> = snapshot.entries.iter().map(|entry| entry.position).collect();
+    let index = GridIndex::build(points, e);
+    let labels = dbscan(&index, m);
+    let clusters = labels_to_clusters(&labels)
+        .into_iter()
+        .map(|members| Cluster::new(members.into_iter().map(|i| ids[i]).collect()))
+        .collect();
+    let noise = labels
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| **l == Label::Noise)
+        .map(|(i, _)| ids[i])
+        .collect();
+    (clusters, noise)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbscan::BruteForcePoints;
+    use proptest::prelude::*;
+    use trajectory::{SnapshotPolicy, Trajectory, TrajectoryDatabase};
+
+    #[test]
+    fn range_query_matches_brute_force() {
+        let points: Vec<Point> = (0..50)
+            .map(|i| Point::new((i % 10) as f64 * 0.7, (i / 10) as f64 * 0.7))
+            .collect();
+        let index = GridIndex::build(points.clone(), 1.0);
+        for (i, p) in points.iter().enumerate() {
+            let mut from_grid = index.range_query(p);
+            from_grid.sort_unstable();
+            let mut brute: Vec<usize> = points
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| q.distance(p) <= 1.0)
+                .map(|(j, _)| j)
+                .collect();
+            brute.sort_unstable();
+            assert_eq!(from_grid, brute, "mismatch for point {i}");
+        }
+    }
+
+    #[test]
+    fn grid_handles_negative_coordinates() {
+        let points = vec![
+            Point::new(-5.0, -5.0),
+            Point::new(-5.5, -5.2),
+            Point::new(5.0, 5.0),
+        ];
+        let index = GridIndex::build(points, 1.0);
+        let n = index.range_query(&Point::new(-5.0, -5.0));
+        assert_eq!(n.len(), 2);
+        assert!(!index.is_empty());
+        assert_eq!(index.len(), 3);
+    }
+
+    #[test]
+    fn zero_epsilon_does_not_panic() {
+        let points = vec![Point::new(0.0, 0.0), Point::new(0.0, 0.0)];
+        let index = GridIndex::build(points, 0.0);
+        // Identical points are still mutual neighbours at distance 0.
+        assert_eq!(index.range_query(&Point::new(0.0, 0.0)).len(), 2);
+    }
+
+    fn db_with_positions(positions: &[(f64, f64)]) -> TrajectoryDatabase {
+        let mut db = TrajectoryDatabase::new();
+        for (i, (x, y)) in positions.iter().enumerate() {
+            db.insert(
+                ObjectId(i as u64),
+                Trajectory::from_tuples([(*x, *y, 0)]).unwrap(),
+            );
+        }
+        db
+    }
+
+    #[test]
+    fn snapshot_clustering_basic() {
+        let db = db_with_positions(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (50.0, 50.0)]);
+        let snap = db.snapshot(0, SnapshotPolicy::Interpolate);
+        let clusters = snapshot_clusters(&snap, 1.5, 2);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(
+            clusters[0].members(),
+            &[ObjectId(0), ObjectId(1), ObjectId(2)]
+        );
+        let (clusters, noise) = snapshot_clusters_with_noise(&snap, 1.5, 2);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(noise, vec![ObjectId(3)]);
+    }
+
+    #[test]
+    fn snapshot_with_fewer_than_m_objects_returns_nothing() {
+        let db = db_with_positions(&[(0.0, 0.0), (0.1, 0.0)]);
+        let snap = db.snapshot(0, SnapshotPolicy::Interpolate);
+        assert!(snapshot_clusters(&snap, 1.0, 3).is_empty());
+    }
+
+    #[test]
+    fn lossy_flock_scenario_is_captured_by_density_connection() {
+        // Figure 1 of the paper: four objects travelling as an elongated
+        // group. A fixed disc of diameter 3 misses o4, but density connection
+        // with e=1.2 links the whole chain.
+        let db = db_with_positions(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]);
+        let snap = db.snapshot(0, SnapshotPolicy::Interpolate);
+        let clusters = snapshot_clusters(&snap, 1.2, 2);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 4);
+    }
+
+    proptest! {
+        #[test]
+        fn grid_neighbours_equal_brute_force_neighbours(
+            coords in proptest::collection::vec((-30.0f64..30.0, -30.0f64..30.0), 1..80),
+            e in 0.3f64..5.0) {
+            let pts: Vec<Point> = coords.iter().map(|(x, y)| Point::new(*x, *y)).collect();
+            let grid = GridIndex::build(pts.clone(), e);
+            let brute = BruteForcePoints::new(&pts, e);
+            for i in 0..pts.len() {
+                let mut a = grid.neighbors(i);
+                let mut b = brute.neighbors(i);
+                a.sort_unstable();
+                b.sort_unstable();
+                prop_assert_eq!(a, b, "neighbourhood mismatch at index {}", i);
+            }
+        }
+
+        #[test]
+        fn clustering_via_grid_matches_brute_force_partition(
+            coords in proptest::collection::vec((-30.0f64..30.0, -30.0f64..30.0), 2..60),
+            e in 0.5f64..5.0,
+            m in 2usize..4) {
+            // Because neighbourhoods agree exactly, the DBSCAN partitions must
+            // also agree (same visiting order, same seeds).
+            let pts: Vec<Point> = coords.iter().map(|(x, y)| Point::new(*x, *y)).collect();
+            let grid_labels = dbscan(&GridIndex::build(pts.clone(), e), m);
+            let brute_labels = dbscan(&BruteForcePoints::new(&pts, e), m);
+            prop_assert_eq!(grid_labels, brute_labels);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Candidate convoy bookkeeping shared by CMC and the CuTS filter step.
+
+use crate::query::Convoy;
+use serde::{Deserialize, Serialize};
+use traj_cluster::Cluster;
+use trajectory::TimePoint;
+
+/// A convoy candidate under construction: a set of objects that have stayed
+/// in a common (snapshot or partition) cluster since `start`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CandidateConvoy {
+    /// The objects currently shared by every cluster of the candidate's chain.
+    pub objects: Cluster,
+    /// Time point (or partition start) at which the chain began.
+    pub start: TimePoint,
+    /// Last time point (or partition end) the chain has been extended to.
+    pub end: TimePoint,
+}
+
+impl CandidateConvoy {
+    /// Creates a fresh candidate from a cluster discovered over
+    /// `[start, end]`.
+    pub fn new(objects: Cluster, start: TimePoint, end: TimePoint) -> Self {
+        CandidateConvoy {
+            objects,
+            start: start.min(end),
+            end: start.max(end),
+        }
+    }
+
+    /// The candidate's lifetime in time points (`end - start + 1`).
+    pub fn lifetime(&self) -> i64 {
+        self.end - self.start + 1
+    }
+
+    /// Attempts to extend the candidate with a cluster observed up to
+    /// `new_end`. Returns the extended candidate when the intersection still
+    /// has at least `m` members, `None` otherwise.
+    pub fn extend_with(
+        &self,
+        cluster: &Cluster,
+        new_end: TimePoint,
+        m: usize,
+    ) -> Option<CandidateConvoy> {
+        let common = self.objects.intersection(cluster);
+        if common.len() >= m {
+            Some(CandidateConvoy {
+                objects: common,
+                start: self.start,
+                end: new_end.max(self.end),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Converts the candidate into a reported convoy.
+    pub fn into_convoy(self) -> Convoy {
+        Convoy::new(self.objects, self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajectory::ObjectId;
+
+    fn cluster(ids: &[u64]) -> Cluster {
+        Cluster::new(ids.iter().map(|i| ObjectId(*i)).collect())
+    }
+
+    #[test]
+    fn lifetime_counts_inclusive_points() {
+        let c = CandidateConvoy::new(cluster(&[1, 2]), 3, 7);
+        assert_eq!(c.lifetime(), 5);
+        // Reversed bounds are normalised.
+        assert_eq!(CandidateConvoy::new(cluster(&[1]), 7, 3).start, 3);
+    }
+
+    #[test]
+    fn extension_keeps_intersection_and_grows_interval() {
+        let c = CandidateConvoy::new(cluster(&[1, 2, 3, 4]), 0, 2);
+        let extended = c.extend_with(&cluster(&[2, 3, 4, 5]), 3, 2).unwrap();
+        assert_eq!(extended.objects, cluster(&[2, 3, 4]));
+        assert_eq!(extended.start, 0);
+        assert_eq!(extended.end, 3);
+        // Too little overlap: extension fails.
+        assert!(c.extend_with(&cluster(&[4, 9]), 3, 2).is_none());
+        // The end never moves backwards.
+        let same = c.extend_with(&cluster(&[1, 2, 3, 4]), 1, 2).unwrap();
+        assert_eq!(same.end, 2);
+    }
+
+    #[test]
+    fn conversion_to_convoy() {
+        let convoy = CandidateConvoy::new(cluster(&[5, 6]), 10, 20).into_convoy();
+        assert_eq!(convoy.objects, cluster(&[5, 6]));
+        assert_eq!(convoy.start, 10);
+        assert_eq!(convoy.end, 20);
+    }
+}

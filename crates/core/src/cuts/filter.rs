@@ -1,0 +1,253 @@
+//! The CuTS filter step (Algorithm 2 of the paper).
+//!
+//! The filter simplifies every trajectory, partitions the time domain into
+//! λ-length partitions, density-clusters the simplified sub-trajectories of
+//! each partition using the Lemma 1 / Lemma 3 bounds, and chains clusters
+//! across partitions into **candidate convoys** — a superset of the true
+//! convoys, which the refinement step then verifies.
+
+use crate::candidate::CandidateConvoy;
+use crate::cuts::CutsConfig;
+use crate::params::{auto_delta, auto_lambda};
+use crate::query::ConvoyQuery;
+use serde::{Deserialize, Serialize};
+use traj_cluster::{cluster_sub_trajectories, Cluster, SubTrajectory};
+use traj_simplify::SimplifiedTrajectory;
+use trajectory::{ObjectId, TimePartition, TrajectoryDatabase};
+
+/// The output of the filter step: candidate convoys plus the bookkeeping the
+/// refinement step and the benchmark harness need.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FilterOutput {
+    /// Candidate convoys (a superset of the true convoys, at partition
+    /// granularity).
+    pub candidates: Vec<CandidateConvoy>,
+    /// The simplification tolerance δ actually used.
+    pub delta: f64,
+    /// The partition length λ actually used.
+    pub lambda: usize,
+    /// Total number of samples before simplification.
+    pub original_points: usize,
+    /// Total number of samples after simplification.
+    pub simplified_points: usize,
+}
+
+impl FilterOutput {
+    /// Vertex reduction of the simplification step, in percent.
+    pub fn reduction_percent(&self) -> f64 {
+        if self.original_points == 0 {
+            return 0.0;
+        }
+        (1.0 - self.simplified_points as f64 / self.original_points as f64) * 100.0
+    }
+}
+
+/// Simplifies every trajectory of `db` with the variant's simplifier and the
+/// given δ. Exposed separately so the benchmark harness can time the
+/// simplification stage on its own (Figure 13).
+pub fn simplify_database(
+    db: &TrajectoryDatabase,
+    config: &CutsConfig,
+    delta: f64,
+) -> Vec<(ObjectId, SimplifiedTrajectory)> {
+    let method = config.variant.simplification();
+    db.iter()
+        .map(|(id, traj)| (id, method.simplify(traj, delta)))
+        .collect()
+}
+
+/// Runs the filter step on already-simplified trajectories.
+///
+/// This is the partition-and-cluster half of Algorithm 2; [`filter`] is the
+/// convenience wrapper that also performs the simplification.
+pub fn filter_simplified(
+    simplified: &[(ObjectId, SimplifiedTrajectory)],
+    db: &TrajectoryDatabase,
+    query: &ConvoyQuery,
+    config: &CutsConfig,
+    delta: f64,
+) -> FilterOutput {
+    let original_points = db.total_points();
+    let simplified_points = simplified.iter().map(|(_, s)| s.num_points()).sum();
+
+    let lambda = config
+        .lambda
+        .unwrap_or_else(|| auto_lambda(simplified.iter().map(|(_, s)| s), query.k));
+
+    let Some(domain) = db.time_domain() else {
+        return FilterOutput {
+            candidates: Vec::new(),
+            delta,
+            lambda,
+            original_points,
+            simplified_points,
+        };
+    };
+
+    let distance = config.variant.segment_distance();
+    let mode = config.tolerance_mode;
+    let partition = TimePartition::new(domain, lambda as i64);
+
+    let mut candidates: Vec<CandidateConvoy> = Vec::new();
+    let mut current: Vec<CandidateConvoy> = Vec::new();
+
+    for window in partition.iter() {
+        // Collect the sub-trajectories of every object present in this
+        // partition (line 9–10 of Algorithm 2).
+        let items: Vec<SubTrajectory> = simplified
+            .iter()
+            .filter_map(|(id, s)| SubTrajectory::for_window(*id, s, window))
+            .collect();
+
+        let clusters: Vec<Cluster> = if items.len() < query.m {
+            Vec::new()
+        } else {
+            cluster_sub_trajectories(&items, query.e, query.m, distance, mode)
+        };
+
+        let mut next: Vec<CandidateConvoy> = Vec::new();
+        let mut cluster_assigned = vec![false; clusters.len()];
+
+        for candidate in &current {
+            let mut extended = false;
+            for (ci, cluster) in clusters.iter().enumerate() {
+                if let Some(grown) = candidate.extend_with(cluster, window.end, query.m) {
+                    extended = true;
+                    cluster_assigned[ci] = true;
+                    next.push(grown);
+                }
+            }
+            if !extended && candidate.lifetime() >= query.k as i64 {
+                candidates.push(candidate.clone());
+            }
+        }
+
+        for (ci, cluster) in clusters.into_iter().enumerate() {
+            if !cluster_assigned[ci] {
+                next.push(CandidateConvoy::new(cluster, window.start, window.end));
+            }
+        }
+        current = next;
+    }
+
+    for candidate in current {
+        if candidate.lifetime() >= query.k as i64 {
+            candidates.push(candidate);
+        }
+    }
+
+    FilterOutput {
+        candidates,
+        delta,
+        lambda,
+        original_points,
+        simplified_points,
+    }
+}
+
+/// Runs the complete filter step (simplification + partitioned clustering) of
+/// Algorithm 2.
+pub fn filter(db: &TrajectoryDatabase, query: &ConvoyQuery, config: &CutsConfig) -> FilterOutput {
+    let delta = config.delta.unwrap_or_else(|| auto_delta(db, query.e));
+    let simplified = simplify_database(db, config, delta);
+    filter_simplified(&simplified, db, query, config, delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cuts::CutsVariant;
+    use trajectory::{ObjectId, Trajectory};
+
+    fn convoy_db() -> TrajectoryDatabase {
+        let mut db = TrajectoryDatabase::new();
+        // Three objects moving together with a little jitter, one far away.
+        for i in 0..3u64 {
+            let traj = Trajectory::from_tuples((0..30).map(|t| {
+                let jitter = if (t + i as i64) % 2 == 0 { 0.1 } else { -0.1 };
+                (t as f64, i as f64 * 0.4 + jitter, t)
+            }))
+            .unwrap();
+            db.insert(ObjectId(i), traj);
+        }
+        db.insert(
+            ObjectId(9),
+            Trajectory::from_tuples((0..30).map(|t| (t as f64, 400.0, t))).unwrap(),
+        );
+        db
+    }
+
+    #[test]
+    fn filter_produces_a_candidate_covering_the_true_convoy() {
+        let db = convoy_db();
+        let query = ConvoyQuery::new(3, 10, 1.5);
+        for variant in CutsVariant::ALL {
+            let output = filter(&db, &query, &CutsConfig::new(variant));
+            assert!(
+                !output.candidates.is_empty(),
+                "{variant} filter must produce at least one candidate"
+            );
+            // Some candidate must contain all three convoy members over the
+            // full window — the no-false-dismissal guarantee.
+            let covered = output.candidates.iter().any(|c| {
+                (0..3u64).all(|i| c.objects.contains(ObjectId(i)))
+                    && c.start <= 0
+                    && c.end >= 29
+            });
+            assert!(covered, "{variant} filter lost the true convoy");
+            // The far-away object must not force itself into every candidate.
+            assert!(output
+                .candidates
+                .iter()
+                .any(|c| !c.objects.contains(ObjectId(9))));
+            assert!(output.delta > 0.0);
+            assert!(output.lambda >= 2);
+            assert!(output.simplified_points <= output.original_points);
+        }
+    }
+
+    #[test]
+    fn filter_reduces_vertex_count_on_smooth_trajectories() {
+        let db = convoy_db();
+        let query = ConvoyQuery::new(3, 10, 1.5);
+        // With a tolerance above the ±0.1 jitter the trajectories collapse to
+        // a handful of points.
+        let config = CutsConfig::new(CutsVariant::Cuts).with_delta(0.5);
+        let output = filter(&db, &query, &config);
+        assert!(
+            output.reduction_percent() > 60.0,
+            "nearly-straight trajectories should simplify well, got {:.1}%",
+            output.reduction_percent()
+        );
+    }
+
+    #[test]
+    fn explicit_parameters_are_respected() {
+        let db = convoy_db();
+        let query = ConvoyQuery::new(3, 10, 1.5);
+        let config = CutsConfig::new(CutsVariant::CutsStar)
+            .with_delta(0.75)
+            .with_lambda(6);
+        let output = filter(&db, &query, &config);
+        assert_eq!(output.delta, 0.75);
+        assert_eq!(output.lambda, 6);
+    }
+
+    #[test]
+    fn empty_database_produces_no_candidates() {
+        let db = TrajectoryDatabase::new();
+        let query = ConvoyQuery::new(2, 3, 1.0);
+        let output = filter(&db, &query, &CutsConfig::new(CutsVariant::Cuts));
+        assert!(output.candidates.is_empty());
+        assert_eq!(output.original_points, 0);
+    }
+
+    #[test]
+    fn lifetime_constraint_prunes_short_candidates() {
+        let db = convoy_db();
+        // k far larger than the domain: no candidate can qualify.
+        let query = ConvoyQuery::new(3, 500, 1.5);
+        let output = filter(&db, &query, &CutsConfig::new(CutsVariant::Cuts));
+        assert!(output.candidates.is_empty());
+    }
+}

@@ -1,0 +1,295 @@
+//! The discovery façade: one entry point that runs either CMC or a CuTS
+//! variant, times every stage, and returns a normalised result set together
+//! with the statistics the benchmark harness consumes.
+
+use crate::cmc::cmc;
+use crate::cuts::filter::{filter_simplified, simplify_database};
+use crate::cuts::refine::refine;
+use crate::cuts::{CutsConfig, CutsVariant};
+use crate::metrics::{refinement_unit, DiscoveryStats, StageTimings};
+use crate::params::auto_delta;
+use crate::query::{normalize_convoys, Convoy, ConvoyQuery};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use trajectory::TrajectoryDatabase;
+
+/// Which discovery algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Method {
+    /// The CMC baseline (Algorithm 1).
+    Cmc,
+    /// CuTS: DP simplification with `DLL` bounds.
+    Cuts,
+    /// CuTS+: DP+ simplification with `DLL` bounds.
+    CutsPlus,
+    /// CuTS*: DP* simplification with `D*` bounds.
+    CutsStar,
+}
+
+impl Method {
+    /// All methods in the order the paper's figures list them.
+    pub const ALL: [Method; 4] = [Method::Cmc, Method::Cuts, Method::CutsPlus, Method::CutsStar];
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Cmc => "CMC",
+            Method::Cuts => "CuTS",
+            Method::CutsPlus => "CuTS+",
+            Method::CutsStar => "CuTS*",
+        }
+    }
+
+    /// The CuTS variant corresponding to this method, when it is one.
+    pub fn cuts_variant(&self) -> Option<CutsVariant> {
+        match self {
+            Method::Cmc => None,
+            Method::Cuts => Some(CutsVariant::Cuts),
+            Method::CutsPlus => Some(CutsVariant::CutsPlus),
+            Method::CutsStar => Some(CutsVariant::CutsStar),
+        }
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The result of one discovery run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiscoveryOutcome {
+    /// The method that produced the result.
+    pub method: Method,
+    /// The normalised convoy result set.
+    pub convoys: Vec<Convoy>,
+    /// Wall-clock timings per stage.
+    pub timings: StageTimings,
+    /// Candidate / parameter statistics.
+    pub stats: DiscoveryStats,
+}
+
+/// A configured convoy-discovery run.
+#[derive(Debug, Clone)]
+pub struct Discovery {
+    method: Method,
+    config: CutsConfig,
+}
+
+impl Discovery {
+    /// Creates a discovery run for `method` with automatic parameter
+    /// selection.
+    pub fn new(method: Method) -> Self {
+        let variant = method.cuts_variant().unwrap_or(CutsVariant::Cuts);
+        Discovery {
+            method,
+            config: CutsConfig::new(variant),
+        }
+    }
+
+    /// Overrides the CuTS configuration (ignored for CMC).
+    #[must_use]
+    pub fn with_config(mut self, config: CutsConfig) -> Self {
+        self.config = CutsConfig {
+            variant: self.method.cuts_variant().unwrap_or(config.variant),
+            ..config
+        };
+        self
+    }
+
+    /// The method this run executes.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// The CuTS configuration this run uses.
+    pub fn config(&self) -> &CutsConfig {
+        &self.config
+    }
+
+    /// Executes the discovery and returns the normalised result set together
+    /// with timings and statistics.
+    pub fn run(&self, db: &TrajectoryDatabase, query: &ConvoyQuery) -> DiscoveryOutcome {
+        match self.method {
+            Method::Cmc => {
+                let started = Instant::now();
+                let raw = cmc(db, query);
+                let filter_time = started.elapsed();
+                let convoys = normalize_convoys(raw, query);
+                DiscoveryOutcome {
+                    method: self.method,
+                    stats: DiscoveryStats {
+                        num_convoys: convoys.len(),
+                        ..DiscoveryStats::default()
+                    },
+                    convoys,
+                    timings: StageTimings {
+                        filter: filter_time,
+                        ..StageTimings::default()
+                    },
+                }
+            }
+            Method::Cuts | Method::CutsPlus | Method::CutsStar => {
+                // Stage 1: simplification.
+                let delta = self.config.delta.unwrap_or_else(|| auto_delta(db, query.e));
+                let simplify_started = Instant::now();
+                let simplified = simplify_database(db, &self.config, delta);
+                let simplification = simplify_started.elapsed();
+
+                // Stage 2: filter (partitioned clustering of simplified
+                // sub-trajectories).
+                let filter_started = Instant::now();
+                let output = filter_simplified(&simplified, db, query, &self.config, delta);
+                let filter_time = filter_started.elapsed();
+
+                // Stage 3: refinement (windowed CMC per candidate).
+                let refine_started = Instant::now();
+                let raw = refine(db, query, &output.candidates);
+                let refinement = refine_started.elapsed();
+
+                let convoys = normalize_convoys(raw, query);
+                DiscoveryOutcome {
+                    method: self.method,
+                    stats: DiscoveryStats {
+                        num_candidates: output.candidates.len(),
+                        refinement_units: refinement_unit(&output.candidates),
+                        num_convoys: convoys.len(),
+                        delta: output.delta,
+                        lambda: output.lambda,
+                        reduction_percent: output.reduction_percent(),
+                    },
+                    convoys,
+                    timings: StageTimings {
+                        simplification,
+                        filter: filter_time,
+                        refinement,
+                    },
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::result_sets_equivalent;
+    use trajectory::{ObjectId, Trajectory};
+
+    /// Two convoys of different shapes plus background noise objects.
+    fn scenario_db() -> TrajectoryDatabase {
+        let mut db = TrajectoryDatabase::new();
+        let mut next_id = 0u64;
+        // Convoy A: 3 objects drifting north-east for the whole domain.
+        for lane in 0..3 {
+            let traj = Trajectory::from_tuples((0..40).map(|t| {
+                (
+                    t as f64 + (lane as f64) * 0.3,
+                    t as f64 * 0.5 + lane as f64 * 0.4,
+                    t,
+                )
+            }))
+            .unwrap();
+            db.insert(ObjectId(next_id), traj);
+            next_id += 1;
+        }
+        // Convoy B: 4 objects circling a roundabout only during [10, 30].
+        for lane in 0..4 {
+            let traj = Trajectory::from_tuples((0..40).map(|t| {
+                if (10..=30).contains(&t) {
+                    let angle = t as f64 * 0.2;
+                    (
+                        200.0 + angle.cos() * 3.0 + lane as f64 * 0.3,
+                        200.0 + angle.sin() * 3.0,
+                        t,
+                    )
+                } else {
+                    // Scattered before and after.
+                    (
+                        200.0 + lane as f64 * 50.0 + t as f64,
+                        400.0 + lane as f64 * 30.0,
+                        t,
+                    )
+                }
+            }))
+            .unwrap();
+            db.insert(ObjectId(next_id), traj);
+            next_id += 1;
+        }
+        // Noise: 5 independent wanderers.
+        for w in 0..5i64 {
+            let traj = Trajectory::from_tuples((0..40).map(|t| {
+                (
+                    -300.0 - (w as f64) * 40.0 + (t as f64) * ((w % 3) as f64 - 1.0),
+                    -300.0 + (w as f64) * 35.0 + t as f64,
+                    t,
+                )
+            }))
+            .unwrap();
+            db.insert(ObjectId(next_id + w as u64), traj);
+        }
+        db
+    }
+
+    #[test]
+    fn all_methods_agree_on_the_result_set() {
+        let db = scenario_db();
+        let query = ConvoyQuery::new(3, 10, 2.0);
+        let reference = Discovery::new(Method::Cmc).run(&db, &query);
+        assert!(
+            !reference.convoys.is_empty(),
+            "the scenario must contain at least one convoy"
+        );
+        for method in [Method::Cuts, Method::CutsPlus, Method::CutsStar] {
+            let outcome = Discovery::new(method).run(&db, &query);
+            assert!(
+                result_sets_equivalent(&outcome.convoys, &reference.convoys),
+                "{method} disagreed with CMC:\n  {:?}\nvs reference\n  {:?}",
+                outcome.convoys,
+                reference.convoys
+            );
+        }
+    }
+
+    #[test]
+    fn cuts_outcome_reports_stage_statistics() {
+        let db = scenario_db();
+        let query = ConvoyQuery::new(3, 10, 2.0);
+        let outcome = Discovery::new(Method::CutsStar).run(&db, &query);
+        assert!(outcome.stats.num_candidates > 0);
+        assert!(outcome.stats.refinement_units > 0.0);
+        assert!(outcome.stats.delta > 0.0);
+        assert!(outcome.stats.lambda >= 2);
+        assert_eq!(outcome.stats.num_convoys, outcome.convoys.len());
+        assert!(outcome.timings.total() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn cmc_outcome_has_no_filter_statistics() {
+        let db = scenario_db();
+        let query = ConvoyQuery::new(3, 10, 2.0);
+        let outcome = Discovery::new(Method::Cmc).run(&db, &query);
+        assert_eq!(outcome.stats.num_candidates, 0);
+        assert_eq!(outcome.stats.refinement_units, 0.0);
+        assert_eq!(outcome.timings.simplification, std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn method_metadata() {
+        assert_eq!(Method::Cmc.name(), "CMC");
+        assert_eq!(Method::CutsStar.to_string(), "CuTS*");
+        assert_eq!(Method::Cmc.cuts_variant(), None);
+        assert_eq!(Method::CutsPlus.cuts_variant(), Some(CutsVariant::CutsPlus));
+        assert_eq!(Method::ALL.len(), 4);
+    }
+
+    #[test]
+    fn with_config_keeps_the_method_variant() {
+        let discovery = Discovery::new(Method::CutsStar)
+            .with_config(CutsConfig::new(CutsVariant::Cuts).with_delta(1.0));
+        assert_eq!(discovery.config().variant, CutsVariant::CutsStar);
+        assert_eq!(discovery.config().delta, Some(1.0));
+        assert_eq!(discovery.method(), Method::CutsStar);
+    }
+}

@@ -1,0 +1,103 @@
+//! Instrumentation: stage timings, candidate statistics and the
+//! *refinement unit* cost model used by the paper's Figures 16 and 17.
+
+use crate::candidate::CandidateConvoy;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Wall-clock timings of the three stages of a CuTS run (Figure 13). For CMC
+/// the whole run is accounted to the `filter` stage (it has no
+/// simplification or refinement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct StageTimings {
+    /// Time spent simplifying trajectories.
+    pub simplification: Duration,
+    /// Time spent in the filter step (partitioned clustering), or the whole
+    /// algorithm for CMC.
+    pub filter: Duration,
+    /// Time spent refining candidates.
+    pub refinement: Duration,
+}
+
+impl StageTimings {
+    /// Total elapsed time across the three stages.
+    pub fn total(&self) -> Duration {
+        self.simplification + self.filter + self.refinement
+    }
+}
+
+/// Summary statistics of one discovery run, consumed by the benchmark
+/// harness.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct DiscoveryStats {
+    /// Number of candidate convoys the filter produced (0 for CMC).
+    pub num_candidates: usize,
+    /// The refinement-unit cost of those candidates (0 for CMC).
+    pub refinement_units: f64,
+    /// Number of convoys reported after normalisation.
+    pub num_convoys: usize,
+    /// The simplification tolerance δ used (0 for CMC).
+    pub delta: f64,
+    /// The time-partition length λ used (0 for CMC).
+    pub lambda: usize,
+    /// Vertex reduction of the simplification step in percent (0 for CMC).
+    pub reduction_percent: f64,
+}
+
+/// The *refinement unit* of a set of candidates (Section 7.3): for each
+/// candidate, the clustering cost of its objects — counted as `|objects|²`,
+/// i.e. clustering without index support, exactly as the paper chooses —
+/// multiplied by the candidate's lifetime, summed over all candidates.
+///
+/// The paper's example: a candidate with 3 objects and lifetime 2 contributes
+/// `3² × 2 = 18` units.
+pub fn refinement_unit(candidates: &[CandidateConvoy]) -> f64 {
+    candidates
+        .iter()
+        .map(|c| {
+            let n = c.objects.len() as f64;
+            n * n * c.lifetime() as f64
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_cluster::Cluster;
+    use trajectory::ObjectId;
+
+    fn candidate(ids: &[u64], start: i64, end: i64) -> CandidateConvoy {
+        CandidateConvoy::new(
+            Cluster::new(ids.iter().map(|i| ObjectId(*i)).collect()),
+            start,
+            end,
+        )
+    }
+
+    #[test]
+    fn refinement_unit_matches_paper_example() {
+        // 3 objects, lifetime 2 → 18 units.
+        let c = candidate(&[1, 2, 3], 0, 1);
+        assert_eq!(refinement_unit(&[c]), 18.0);
+    }
+
+    #[test]
+    fn refinement_unit_sums_over_candidates() {
+        let a = candidate(&[1, 2], 0, 4); // 4 × 5 = 20
+        let b = candidate(&[1, 2, 3, 4], 0, 0); // 16 × 1 = 16
+        assert_eq!(refinement_unit(&[a, b]), 36.0);
+        assert_eq!(refinement_unit(&[]), 0.0);
+    }
+
+    #[test]
+    fn stage_timings_total() {
+        let t = StageTimings {
+            simplification: Duration::from_millis(5),
+            filter: Duration::from_millis(10),
+            refinement: Duration::from_millis(20),
+        };
+        assert_eq!(t.total(), Duration::from_millis(35));
+        assert_eq!(StageTimings::default().total(), Duration::ZERO);
+    }
+}

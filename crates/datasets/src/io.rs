@@ -1,0 +1,158 @@
+//! Plain-CSV import and export of trajectory databases.
+//!
+//! The format is one sample per line, `object_id,t,x,y`, with an optional
+//! header line. This is deliberately minimal: it is the least-common-
+//! denominator shape of the GPS logs the paper's datasets come from (object
+//! identifier, timestamp, longitude/latitude or projected coordinates), so a
+//! user with access to the real Truck/Cattle/Car/Taxi data can drop it in
+//! without format gymnastics.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+use trajectory::{ObjectId, Result, TrajectoryBuilder, TrajectoryDatabase, TrajectoryError};
+
+/// Writes a database to CSV (`object_id,t,x,y`, with a header line).
+pub fn write_csv<W: Write>(db: &TrajectoryDatabase, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "object_id,t,x,y")?;
+    for (id, traj) in db.iter() {
+        for p in traj.points() {
+            writeln!(writer, "{},{},{},{}", id.0, p.t, p.x, p.y)?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes a database to a CSV file at `path`.
+pub fn write_csv_file<P: AsRef<Path>>(db: &TrajectoryDatabase, path: P) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_csv(db, std::io::BufWriter::new(file))
+}
+
+/// Reads a database from CSV (`object_id,t,x,y`). A header line (any line
+/// whose second field does not parse as an integer) is skipped. Samples may
+/// appear in any order; duplicate `(object, t)` samples keep the last
+/// occurrence.
+pub fn read_csv<R: Read>(reader: R) -> Result<TrajectoryDatabase> {
+    let reader = BufReader::new(reader);
+    let mut builders: BTreeMap<ObjectId, TrajectoryBuilder> = BTreeMap::new();
+
+    for (line_no, line) in reader.lines().enumerate() {
+        let line_no = line_no + 1;
+        let line = line.map_err(|e| TrajectoryError::Parse {
+            line: line_no,
+            message: e.to_string(),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        if fields.len() != 4 {
+            return Err(TrajectoryError::Parse {
+                line: line_no,
+                message: format!("expected 4 fields, found {}", fields.len()),
+            });
+        }
+        // Header detection: skip the first line when its timestamp field is
+        // not numeric.
+        if line_no == 1 && fields[1].parse::<i64>().is_err() {
+            continue;
+        }
+        let parse_err = |what: &str| TrajectoryError::Parse {
+            line: line_no,
+            message: format!("cannot parse {what}"),
+        };
+        let id: u64 = fields[0].parse().map_err(|_| parse_err("object_id"))?;
+        let t: i64 = fields[1].parse().map_err(|_| parse_err("t"))?;
+        let x: f64 = fields[2].parse().map_err(|_| parse_err("x"))?;
+        let y: f64 = fields[3].parse().map_err(|_| parse_err("y"))?;
+        builders
+            .entry(ObjectId(id))
+            .or_insert_with(TrajectoryBuilder::new)
+            .add(x, y, t);
+    }
+
+    let mut db = TrajectoryDatabase::new();
+    for (id, builder) in builders {
+        db.insert(id, builder.build()?);
+    }
+    Ok(db)
+}
+
+/// Reads a database from a CSV file at `path`.
+pub fn read_csv_file<P: AsRef<Path>>(path: P) -> Result<TrajectoryDatabase> {
+    let file = std::fs::File::open(&path).map_err(|e| TrajectoryError::Parse {
+        line: 0,
+        message: format!("cannot open {}: {e}", path.as_ref().display()),
+    })?;
+    read_csv(file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, DatasetProfile};
+
+    #[test]
+    fn round_trip_preserves_the_database() {
+        let dataset = generate(&DatasetProfile::truck().scaled(0.01), 3);
+        let mut buffer = Vec::new();
+        write_csv(&dataset.database, &mut buffer).unwrap();
+        let restored = read_csv(buffer.as_slice()).unwrap();
+        assert_eq!(restored, dataset.database);
+    }
+
+    #[test]
+    fn header_comments_and_blank_lines_are_skipped() {
+        let csv = "object_id,t,x,y\n# comment\n\n1,0,0.5,1.5\n1,1,1.0,2.0\n2,0,9.0,9.0\n";
+        let db = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.get(ObjectId(1)).unwrap().len(), 2);
+        assert_eq!(db.get(ObjectId(2)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn out_of_order_and_duplicate_samples_are_normalised() {
+        let csv = "1,5,5.0,0.0\n1,1,1.0,0.0\n1,5,6.0,0.0\n";
+        let db = read_csv(csv.as_bytes()).unwrap();
+        let traj = db.get(ObjectId(1)).unwrap();
+        assert_eq!(traj.len(), 2);
+        assert_eq!(traj.start_time(), 1);
+        // Last occurrence of the duplicate timestamp wins.
+        assert_eq!(traj.sample_at(5).unwrap().x, 6.0);
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_line_numbers() {
+        let err = read_csv("1,0,0.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TrajectoryError::Parse { line: 1, .. }));
+        let err = read_csv("1,0,0.0,1.0\n1,zap,0.0,1.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TrajectoryError::Parse { line: 2, .. }));
+        let err = read_csv("1,0,NOPE,1.0\n".as_bytes()).unwrap_err();
+        match err {
+            TrajectoryError::Parse { line, message } => {
+                assert_eq!(line, 1);
+                assert!(message.contains('x'));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dataset = generate(&DatasetProfile::taxi().scaled(0.02), 9);
+        let dir = std::env::temp_dir().join("convoy-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("taxi.csv");
+        write_csv_file(&dataset.database, &path).unwrap();
+        let restored = read_csv_file(&path).unwrap();
+        assert_eq!(restored, dataset.database);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_a_parse_error() {
+        assert!(read_csv_file("/nonexistent/convoy.csv").is_err());
+    }
+}

@@ -1,0 +1,216 @@
+//! The classic Douglas–Peucker simplifier (DP).
+
+use crate::traits::Simplifier;
+use trajectory::geometry::Segment;
+use trajectory::Trajectory;
+
+/// The classic Douglas–Peucker algorithm (Section 2.2 / 5.1 of the paper).
+///
+/// Given a polyline `⟨p_1, …, p_T⟩` and tolerance δ, DP approximates the
+/// polyline by the segment `p_1 p_T`, finds the intermediate sample farthest
+/// from the segment, and — if that distance exceeds δ — splits the polyline at
+/// that sample and recurses on both halves.
+///
+/// Distances are measured with `DPL` (point-to-*segment* distance) rather
+/// than the point-to-infinite-line distance. `DPL` is never smaller than the
+/// perpendicular distance, so the resulting simplification error is still
+/// bounded by δ, and the actual tolerances recorded per segment are exactly
+/// the quantities the filter-step lemmas need. It also behaves sanely for
+/// self-intersecting trajectories, which the paper explicitly allows.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DouglasPeucker;
+
+impl DouglasPeucker {
+    /// Iterative (explicit-stack) DP on the index range `[first, last]`,
+    /// pushing kept indices into `kept`.
+    fn simplify_range(trajectory: &Trajectory, delta: f64, kept: &mut Vec<usize>) {
+        let points = trajectory.points();
+        let n = points.len();
+        kept.push(0);
+        if n == 1 {
+            return;
+        }
+        kept.push(n - 1);
+        // Work stack of (first, last) index pairs still to examine.
+        let mut stack = vec![(0usize, n - 1)];
+        while let Some((first, last)) = stack.pop() {
+            if last <= first + 1 {
+                continue;
+            }
+            let seg = Segment::new(points[first].position(), points[last].position());
+            let mut max_dist = -1.0f64;
+            let mut max_idx = first;
+            for (i, p) in points.iter().enumerate().take(last).skip(first + 1) {
+                let d = seg.distance_to_point(&p.position());
+                if d > max_dist {
+                    max_dist = d;
+                    max_idx = i;
+                }
+            }
+            if max_dist > delta {
+                kept.push(max_idx);
+                stack.push((first, max_idx));
+                stack.push((max_idx, last));
+            }
+        }
+    }
+}
+
+impl Simplifier for DouglasPeucker {
+    fn name(&self) -> &'static str {
+        "DP"
+    }
+
+    fn kept_indices(&self, trajectory: &Trajectory, delta: f64) -> Vec<usize> {
+        let mut kept = Vec::new();
+        Self::simplify_range(trajectory, delta, &mut kept);
+        kept.sort_unstable();
+        kept.dedup();
+        kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use trajectory::TrajPoint;
+
+    fn traj(pts: &[(f64, f64, i64)]) -> Trajectory {
+        Trajectory::from_tuples(pts.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn collinear_points_collapse_to_endpoints() {
+        let t = traj(&[(0.0, 0.0, 0), (1.0, 0.0, 1), (2.0, 0.0, 2), (3.0, 0.0, 3)]);
+        let s = DouglasPeucker.simplify(&t, 0.1);
+        assert_eq!(s.num_points(), 2);
+        assert_eq!(s.points()[0].t, 0);
+        assert_eq!(s.points()[1].t, 3);
+        assert_eq!(s.max_actual_tolerance(), 0.0);
+    }
+
+    #[test]
+    fn detour_above_tolerance_is_kept() {
+        let t = traj(&[(0.0, 0.0, 0), (1.0, 3.0, 1), (2.0, 0.0, 2)]);
+        let s = DouglasPeucker.simplify(&t, 1.0);
+        assert_eq!(s.num_points(), 3, "the spike exceeds δ and must survive");
+        let s_loose = DouglasPeucker.simplify(&t, 5.0);
+        assert_eq!(s_loose.num_points(), 2, "a loose δ removes the spike");
+        assert!(s_loose.max_actual_tolerance() <= 5.0);
+        assert!((s_loose.max_actual_tolerance() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zigzag_partial_simplification() {
+        // Alternating bumps of heights 2 and 0.4: with δ=1 only the tall bumps
+        // must survive.
+        let t = traj(&[
+            (0.0, 0.0, 0),
+            (1.0, 2.0, 1),
+            (2.0, 0.0, 2),
+            (3.0, 0.4, 3),
+            (4.0, 0.0, 4),
+            (5.0, 2.0, 5),
+            (6.0, 0.0, 6),
+        ]);
+        let s = DouglasPeucker.simplify(&t, 1.0);
+        let kept_times: Vec<i64> = s.points().iter().map(|p| p.t).collect();
+        assert!(kept_times.contains(&1));
+        assert!(kept_times.contains(&5));
+        assert!(!kept_times.contains(&3));
+        assert!(s.max_actual_tolerance() <= 1.0);
+    }
+
+    #[test]
+    fn figure3a_behaviour_drops_temporal_outlier() {
+        // Figure 3(a): p2 is spatially close to the segment p1–p3 even though
+        // its *time-synchronised* deviation is large. Classic DP drops it.
+        let t = traj(&[(0.0, 0.0, 1), (0.5, 0.1, 2), (10.0, 0.0, 3)]);
+        let s = DouglasPeucker.simplify(&t, 0.5);
+        assert_eq!(s.num_points(), 2);
+    }
+
+    #[test]
+    fn single_and_two_point_trajectories() {
+        let t1 = traj(&[(5.0, 5.0, 0)]);
+        let s1 = DouglasPeucker.simplify(&t1, 1.0);
+        assert_eq!(s1.num_points(), 1);
+        assert!(s1.segments().is_empty());
+
+        let t2 = traj(&[(0.0, 0.0, 0), (4.0, 4.0, 9)]);
+        let s2 = DouglasPeucker.simplify(&t2, 1.0);
+        assert_eq!(s2.num_points(), 2);
+        assert_eq!(s2.segments().len(), 1);
+        assert_eq!(s2.segments()[0].actual_tolerance, 0.0);
+    }
+
+    #[test]
+    fn zero_tolerance_keeps_every_non_collinear_point() {
+        let t = traj(&[(0.0, 0.0, 0), (1.0, 0.5, 1), (2.0, -0.5, 2), (3.0, 0.0, 3)]);
+        let s = DouglasPeucker.simplify(&t, 0.0);
+        assert_eq!(s.num_points(), 4);
+    }
+
+    #[test]
+    fn self_intersecting_trajectory_is_handled() {
+        // A loop: the trajectory crosses itself; DP must not panic and the
+        // error bound must hold.
+        let t = traj(&[
+            (0.0, 0.0, 0),
+            (4.0, 0.0, 1),
+            (4.0, 4.0, 2),
+            (2.0, -2.0, 3),
+            (0.0, 4.0, 4),
+        ]);
+        let s = DouglasPeucker.simplify(&t, 1.0);
+        assert!(s.max_actual_tolerance() <= 1.0);
+        assert!(s.num_points() >= 2);
+    }
+
+    prop_compose! {
+        fn arb_traj()(len in 2usize..60)
+            (xs in proptest::collection::vec(-100.0f64..100.0, len),
+             ys in proptest::collection::vec(-100.0f64..100.0, len))
+            -> Trajectory {
+            let pts: Vec<TrajPoint> = xs
+                .into_iter()
+                .zip(ys)
+                .enumerate()
+                .map(|(i, (x, y))| TrajPoint::new(x, y, i as i64 * 3))
+                .collect();
+            Trajectory::from_points(pts).unwrap()
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn dp_error_never_exceeds_delta(t in arb_traj(), delta in 0.1f64..50.0) {
+            let s = DouglasPeucker.simplify(&t, delta);
+            // Definition 4 / correctness of DP: every original sample is
+            // within δ of the segment that replaced it.
+            prop_assert!(s.max_actual_tolerance() <= delta + 1e-9);
+            // Actual tolerance of each segment never exceeds the global δ.
+            for seg in s.segments() {
+                prop_assert!(seg.actual_tolerance <= delta + 1e-9);
+            }
+        }
+
+        #[test]
+        fn dp_keeps_endpoints_and_is_subset(t in arb_traj(), delta in 0.0f64..50.0) {
+            let kept = DouglasPeucker.kept_indices(&t, delta);
+            prop_assert_eq!(*kept.first().unwrap(), 0);
+            prop_assert_eq!(*kept.last().unwrap(), t.len() - 1);
+            prop_assert!(kept.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(kept.len() <= t.len());
+        }
+
+        #[test]
+        fn dp_is_monotone_in_delta(t in arb_traj(), d1 in 0.1f64..10.0, factor in 1.0f64..10.0) {
+            // A larger tolerance can only keep fewer or equally many points.
+            let small = DouglasPeucker.simplify(&t, d1);
+            let large = DouglasPeucker.simplify(&t, d1 * factor);
+            prop_assert!(large.num_points() <= small.num_points());
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! The midpoint-biased DP+ simplifier (Section 6.1 of the paper).
+
+use crate::traits::Simplifier;
+use trajectory::geometry::Segment;
+use trajectory::Trajectory;
+
+/// The DP+ variant of Douglas–Peucker (Section 6.1).
+///
+/// Where classic DP splits at the sample with the *largest* deviation, DP+
+/// splits at the sample **closest to the middle index** among the samples
+/// whose deviation exceeds δ. Splitting near the middle balances the
+/// divide-and-conquer recursion, which makes the simplification itself
+/// faster. As a welcome side effect the split sample's own deviation is
+/// typically smaller than DP's, so the recorded actual tolerances — and hence
+/// the filter-step search ranges — are tighter (the paper's δ₄ < δ₆ example in
+/// Figure 10).
+///
+/// DP+ generally keeps more samples than DP for the same δ (lower reduction
+/// power), a trade-off the paper evaluates in Figure 15.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DouglasPeuckerPlus;
+
+impl DouglasPeuckerPlus {
+    fn simplify_range(trajectory: &Trajectory, delta: f64, kept: &mut Vec<usize>) {
+        let points = trajectory.points();
+        let n = points.len();
+        kept.push(0);
+        if n == 1 {
+            return;
+        }
+        kept.push(n - 1);
+        let mut stack = vec![(0usize, n - 1)];
+        while let Some((first, last)) = stack.pop() {
+            if last <= first + 1 {
+                continue;
+            }
+            let seg = Segment::new(points[first].position(), points[last].position());
+            // Among the intermediate samples exceeding δ, pick the one whose
+            // index is closest to the middle of the range.
+            let middle = (first + last) / 2;
+            let mut best: Option<(usize, usize)> = None; // (distance to middle index, index)
+            for (i, p) in points.iter().enumerate().take(last).skip(first + 1) {
+                let d = seg.distance_to_point(&p.position());
+                if d > delta {
+                    let dist_to_mid = i.abs_diff(middle);
+                    match best {
+                        Some((best_dist, _)) if dist_to_mid >= best_dist => {}
+                        _ => best = Some((dist_to_mid, i)),
+                    }
+                }
+            }
+            if let Some((_, split)) = best {
+                kept.push(split);
+                stack.push((first, split));
+                stack.push((split, last));
+            }
+        }
+    }
+}
+
+impl Simplifier for DouglasPeuckerPlus {
+    fn name(&self) -> &'static str {
+        "DP+"
+    }
+
+    fn kept_indices(&self, trajectory: &Trajectory, delta: f64) -> Vec<usize> {
+        let mut kept = Vec::new();
+        Self::simplify_range(trajectory, delta, &mut kept);
+        kept.sort_unstable();
+        kept.dedup();
+        kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::DouglasPeucker;
+    use proptest::prelude::*;
+    use trajectory::TrajPoint;
+
+    fn traj(pts: &[(f64, f64, i64)]) -> Trajectory {
+        Trajectory::from_tuples(pts.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn straight_line_collapses() {
+        let t = traj(&[(0.0, 0.0, 0), (1.0, 0.0, 1), (2.0, 0.0, 2), (3.0, 0.0, 3)]);
+        let s = DouglasPeuckerPlus.simplify(&t, 0.5);
+        assert_eq!(s.num_points(), 2);
+    }
+
+    #[test]
+    fn figure10_splits_at_point_nearest_middle() {
+        // Figure 10: seven samples p1..p7; p4 and p6 both exceed δ, but p4 is
+        // closer to the middle, so DP+ splits at p4 (index 3) while DP splits
+        // at the farthest point p6 (index 5).
+        let t = traj(&[
+            (0.0, 0.0, 0),  // p1
+            (1.0, 0.2, 1),  // p2
+            (2.0, 0.1, 2),  // p3
+            (3.0, 1.5, 3),  // p4 — exceeds δ, closest to middle
+            (4.0, 0.0, 4),  // p5
+            (5.0, 2.5, 5),  // p6 — exceeds δ, farthest
+            (6.0, 0.0, 6),  // p7
+        ]);
+        let delta = 1.0;
+        let dp_plus_kept = DouglasPeuckerPlus.kept_indices(&t, delta);
+        let dp_kept = DouglasPeucker.kept_indices(&t, delta);
+        // DP's first split is the globally farthest point (index 5); DP+'s is
+        // index 3. Both must contain the endpoints.
+        assert!(dp_plus_kept.contains(&3));
+        assert!(dp_kept.contains(&5));
+        // DP+ keeps at least as many points (lower reduction power).
+        assert!(dp_plus_kept.len() >= dp_kept.len());
+    }
+
+    #[test]
+    fn no_point_exceeding_delta_means_endpoints_only() {
+        let t = traj(&[(0.0, 0.0, 0), (1.0, 0.3, 1), (2.0, -0.2, 2), (3.0, 0.0, 3)]);
+        let s = DouglasPeuckerPlus.simplify(&t, 0.5);
+        assert_eq!(s.num_points(), 2);
+    }
+
+    #[test]
+    fn single_point_trajectory() {
+        let t = traj(&[(1.0, 1.0, 0)]);
+        assert_eq!(DouglasPeuckerPlus.simplify(&t, 1.0).num_points(), 1);
+    }
+
+    prop_compose! {
+        fn arb_traj()(len in 2usize..60)
+            (xs in proptest::collection::vec(-100.0f64..100.0, len),
+             ys in proptest::collection::vec(-100.0f64..100.0, len))
+            -> Trajectory {
+            let pts: Vec<TrajPoint> = xs
+                .into_iter()
+                .zip(ys)
+                .enumerate()
+                .map(|(i, (x, y))| TrajPoint::new(x, y, i as i64 * 2 + 1))
+                .collect();
+            Trajectory::from_points(pts).unwrap()
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn dp_plus_error_never_exceeds_delta(t in arb_traj(), delta in 0.1f64..50.0) {
+            let s = DouglasPeuckerPlus.simplify(&t, delta);
+            prop_assert!(s.max_actual_tolerance() <= delta + 1e-9);
+        }
+
+        #[test]
+        fn dp_plus_keeps_endpoints(t in arb_traj(), delta in 0.0f64..50.0) {
+            let kept = DouglasPeuckerPlus.kept_indices(&t, delta);
+            prop_assert_eq!(*kept.first().unwrap(), 0);
+            prop_assert_eq!(*kept.last().unwrap(), t.len() - 1);
+        }
+
+        #[test]
+        fn dp_plus_split_deviation_never_exceeds_dp_split(t in arb_traj(), delta in 0.1f64..20.0) {
+            // Section 6.1: at the *first* division step, the deviation of the
+            // sample DP+ splits at can never exceed the deviation of the
+            // sample DP splits at — DP picks the maximum by definition. This
+            // is the mechanism that tightens DP+'s actual tolerances.
+            let points = t.points();
+            if points.len() > 2 {
+                let seg = trajectory::geometry::Segment::new(
+                    points[0].position(),
+                    points[points.len() - 1].position(),
+                );
+                let deviations: Vec<f64> = points[1..points.len() - 1]
+                    .iter()
+                    .map(|p| seg.distance_to_point(&p.position()))
+                    .collect();
+                let dp_split = deviations.iter().cloned().fold(0.0f64, f64::max);
+                let middle = (points.len() - 1) / 2;
+                let dp_plus_split = deviations
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, d)| **d > delta)
+                    .min_by_key(|(i, _)| (i + 1).abs_diff(middle))
+                    .map(|(_, d)| *d);
+                if let Some(plus_dev) = dp_plus_split {
+                    prop_assert!(plus_dev <= dp_split + 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! The temporal DP* simplifier (Meratnia & de By), Section 2.2 / 6.2.
+
+use crate::traits::Simplifier;
+use trajectory::geometry::Point;
+use trajectory::{TrajPoint, Trajectory};
+
+/// The temporal Douglas–Peucker variant **DP\*** (after Meratnia & de By,
+/// called DP* throughout the paper).
+///
+/// Instead of the spatial distance from a sample to the approximation
+/// segment, DP* measures the **time-synchronised** distance: the sample
+/// `p_i = (x_i, y_i, t_i)` is compared with the position `p'_i` obtained by
+/// interpolating the approximation segment at the *time ratio* of `t_i`
+/// between the segment's endpoints (Figure 3(b) of the paper). A sample is
+/// removable only when this synchronised deviation is within δ.
+///
+/// DP* keeps more samples than DP for the same δ (lower reduction), but the
+/// synchronised guarantee is what allows CuTS* to use the tighter `D*`
+/// segment distance in its filter step.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DouglasPeuckerStar;
+
+impl DouglasPeuckerStar {
+    /// The time-ratio position on the segment `a→b` at time `t` (Section 6.2).
+    fn time_ratio_position(a: &TrajPoint, b: &TrajPoint, t: i64) -> Point {
+        if b.t == a.t {
+            return a.position();
+        }
+        let ratio = (t - a.t) as f64 / (b.t - a.t) as f64;
+        a.position().lerp(&b.position(), ratio)
+    }
+
+    /// Synchronised deviation of sample `p` from the approximation segment
+    /// `a→b`: `D(p, p′)` where `p′` is the time-ratio position at `p.t`.
+    pub fn synchronised_deviation(a: &TrajPoint, b: &TrajPoint, p: &TrajPoint) -> f64 {
+        Self::time_ratio_position(a, b, p.t).distance(&p.position())
+    }
+
+    fn simplify_range(trajectory: &Trajectory, delta: f64, kept: &mut Vec<usize>) {
+        let points = trajectory.points();
+        let n = points.len();
+        kept.push(0);
+        if n == 1 {
+            return;
+        }
+        kept.push(n - 1);
+        let mut stack = vec![(0usize, n - 1)];
+        while let Some((first, last)) = stack.pop() {
+            if last <= first + 1 {
+                continue;
+            }
+            let a = &points[first];
+            let b = &points[last];
+            let mut max_dev = -1.0f64;
+            let mut max_idx = first;
+            for (i, p) in points.iter().enumerate().take(last).skip(first + 1) {
+                let d = Self::synchronised_deviation(a, b, p);
+                if d > max_dev {
+                    max_dev = d;
+                    max_idx = i;
+                }
+            }
+            if max_dev > delta {
+                kept.push(max_idx);
+                stack.push((first, max_idx));
+                stack.push((max_idx, last));
+            }
+        }
+    }
+}
+
+impl Simplifier for DouglasPeuckerStar {
+    fn name(&self) -> &'static str {
+        "DP*"
+    }
+
+    fn tolerance_metric(&self) -> crate::simplified::ToleranceMetric {
+        crate::simplified::ToleranceMetric::Synchronised
+    }
+
+    fn kept_indices(&self, trajectory: &Trajectory, delta: f64) -> Vec<usize> {
+        let mut kept = Vec::new();
+        Self::simplify_range(trajectory, delta, &mut kept);
+        kept.sort_unstable();
+        kept.dedup();
+        kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::DouglasPeucker;
+    use crate::simplified::SimplifiedTrajectory;
+    use proptest::prelude::*;
+
+    fn traj(pts: &[(f64, f64, i64)]) -> Trajectory {
+        Trajectory::from_tuples(pts.iter().copied()).unwrap()
+    }
+
+    /// The synchronised error of a simplification: for every original sample,
+    /// the distance to the time-ratio position of the simplified trajectory
+    /// at that sample's timestamp.
+    fn max_synchronised_error(original: &Trajectory, simplified: &SimplifiedTrajectory) -> f64 {
+        original
+            .points()
+            .iter()
+            .map(|p| {
+                simplified
+                    .location_at(p.t)
+                    .map(|q| q.distance(&p.position()))
+                    .unwrap_or(0.0)
+            })
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn figure3b_keeps_temporal_outlier_that_dp_drops() {
+        // Figure 3: p2 lies spatially near the segment p1–p3 but at its own
+        // timestamp the object should already be most of the way along the
+        // segment, so the synchronised deviation is large. DP drops p2, DP*
+        // keeps it.
+        let t = traj(&[(0.0, 0.0, 1), (1.0, 0.2, 2), (10.0, 0.0, 3)]);
+        let delta = 1.0;
+        let dp = DouglasPeucker.simplify(&t, delta);
+        let dp_star = DouglasPeuckerStar.simplify(&t, delta);
+        assert_eq!(dp.num_points(), 2, "DP judges p2 redundant spatially");
+        assert_eq!(dp_star.num_points(), 3, "DP* must keep the temporal outlier");
+    }
+
+    #[test]
+    fn straight_constant_speed_motion_collapses() {
+        // Constant velocity along a line: the synchronised positions coincide
+        // with the samples, so everything but the endpoints is removable.
+        let t = traj(&[(0.0, 0.0, 0), (1.0, 1.0, 1), (2.0, 2.0, 2), (3.0, 3.0, 3)]);
+        let s = DouglasPeuckerStar.simplify(&t, 0.01);
+        assert_eq!(s.num_points(), 2);
+    }
+
+    #[test]
+    fn straight_variable_speed_motion_is_kept() {
+        // Same path as above but the object lingers: spatially collinear yet
+        // the time-ratio positions diverge, so DP* keeps intermediate samples.
+        let t = traj(&[(0.0, 0.0, 0), (0.2, 0.2, 1), (0.4, 0.4, 2), (3.0, 3.0, 3)]);
+        let s_star = DouglasPeuckerStar.simplify(&t, 0.5);
+        let s_dp = DouglasPeucker.simplify(&t, 0.5);
+        assert!(s_star.num_points() > 2);
+        assert_eq!(s_dp.num_points(), 2);
+    }
+
+    #[test]
+    fn synchronised_deviation_formula() {
+        let a = TrajPoint::new(0.0, 0.0, 0);
+        let b = TrajPoint::new(10.0, 0.0, 10);
+        // At t=5 the reference position is (5, 0); a sample at (5, 3) deviates by 3.
+        let p = TrajPoint::new(5.0, 3.0, 5);
+        assert!((DouglasPeuckerStar::synchronised_deviation(&a, &b, &p) - 3.0).abs() < 1e-12);
+        // A sample early in time but far along the path deviates by its x offset.
+        let q = TrajPoint::new(9.0, 0.0, 1);
+        assert!((DouglasPeuckerStar::synchronised_deviation(&a, &b, &q) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_point_trajectory() {
+        let t = traj(&[(1.0, 1.0, 0)]);
+        assert_eq!(DouglasPeuckerStar.simplify(&t, 1.0).num_points(), 1);
+    }
+
+    prop_compose! {
+        fn arb_traj()(len in 2usize..50)
+            (xs in proptest::collection::vec(-100.0f64..100.0, len),
+             ys in proptest::collection::vec(-100.0f64..100.0, len),
+             gaps in proptest::collection::vec(1i64..5, len))
+            -> Trajectory {
+            let mut t = 0i64;
+            let mut pts = Vec::with_capacity(xs.len());
+            for ((x, y), g) in xs.into_iter().zip(ys).zip(gaps) {
+                pts.push(TrajPoint::new(x, y, t));
+                t += g;
+            }
+            Trajectory::from_points(pts).unwrap()
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn dp_star_synchronised_error_never_exceeds_delta(t in arb_traj(), delta in 0.1f64..50.0) {
+            // The defining guarantee of DP*: at every original timestamp the
+            // time-ratio position of the simplified trajectory is within δ of
+            // the original sample.
+            let s = DouglasPeuckerStar.simplify(&t, delta);
+            prop_assert!(max_synchronised_error(&t, &s) <= delta + 1e-9);
+        }
+
+        #[test]
+        fn dp_star_spatial_tolerance_also_bounded(t in arb_traj(), delta in 0.1f64..50.0) {
+            // The synchronised deviation upper-bounds the spatial DPL
+            // deviation, so the recorded actual tolerances are also within δ.
+            let s = DouglasPeuckerStar.simplify(&t, delta);
+            prop_assert!(s.max_actual_tolerance() <= delta + 1e-9);
+        }
+
+        #[test]
+        fn synchronised_deviation_dominates_segment_distance(t in arb_traj(), i in 0usize..50) {
+            // The pointwise fact behind DP*'s lower reduction power: for the
+            // same approximation segment, the synchronised deviation of a
+            // sample is never smaller than its spatial distance to the segment.
+            let pts = t.points();
+            if pts.len() > 2 {
+                let idx = 1 + i % (pts.len() - 2);
+                let a = pts[0];
+                let b = pts[pts.len() - 1];
+                let seg = trajectory::geometry::Segment::new(a.position(), b.position());
+                let sync = DouglasPeuckerStar::synchronised_deviation(&a, &b, &pts[idx]);
+                let spatial = seg.distance_to_point(&pts[idx].position());
+                prop_assert!(sync + 1e-9 >= spatial);
+            }
+        }
+
+        #[test]
+        fn dp_star_keeps_endpoints(t in arb_traj(), delta in 0.0f64..50.0) {
+            let kept = DouglasPeuckerStar.kept_indices(&t, delta);
+            prop_assert_eq!(*kept.first().unwrap(), 0);
+            prop_assert_eq!(*kept.last().unwrap(), t.len() - 1);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! The [`Simplifier`] abstraction shared by DP, DP+ and DP*.
+
+use crate::simplified::{SimplifiedTrajectory, ToleranceMetric};
+use serde::{Deserialize, Serialize};
+use trajectory::Trajectory;
+
+/// A trajectory line-simplification algorithm.
+///
+/// Implementations return the indices of the samples to keep; the shared
+/// [`SimplifiedTrajectory::from_kept_indices_with_metric`] constructor then
+/// derives the segments and their actual tolerances, so every simplifier
+/// reports tolerances consistently.
+pub trait Simplifier {
+    /// Human-readable name of the method ("DP", "DP+", "DP*").
+    fn name(&self) -> &'static str;
+
+    /// Returns the sorted indices of the samples to keep when simplifying
+    /// `trajectory` with tolerance `delta`. The first and last sample indices
+    /// must always be present.
+    fn kept_indices(&self, trajectory: &Trajectory, delta: f64) -> Vec<usize>;
+
+    /// Which deviation the recorded actual tolerances measure. Time-aware
+    /// simplifiers (DP*) override this to [`ToleranceMetric::Synchronised`],
+    /// which is what makes the tighter Lemma 3 bound sound.
+    fn tolerance_metric(&self) -> ToleranceMetric {
+        ToleranceMetric::Spatial
+    }
+
+    /// Simplifies `trajectory` with tolerance `delta`.
+    fn simplify(&self, trajectory: &Trajectory, delta: f64) -> SimplifiedTrajectory {
+        let kept = self.kept_indices(trajectory, delta);
+        SimplifiedTrajectory::from_kept_indices_with_metric(
+            trajectory,
+            &kept,
+            delta,
+            self.tolerance_metric(),
+        )
+    }
+}
+
+/// Enumerates the three simplification methods of the paper, for use in
+/// configuration values and benchmark tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SimplificationMethod {
+    /// Classic Douglas–Peucker.
+    Dp,
+    /// Midpoint-biased DP+ (Section 6.1).
+    DpPlus,
+    /// Temporal DP* (Section 6.2).
+    DpStar,
+}
+
+impl SimplificationMethod {
+    /// All methods, in the order the paper's figures list them.
+    pub const ALL: [SimplificationMethod; 3] = [
+        SimplificationMethod::Dp,
+        SimplificationMethod::DpPlus,
+        SimplificationMethod::DpStar,
+    ];
+
+    /// The method's display name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SimplificationMethod::Dp => "DP",
+            SimplificationMethod::DpPlus => "DP+",
+            SimplificationMethod::DpStar => "DP*",
+        }
+    }
+
+    /// Simplifies a trajectory with the selected method.
+    pub fn simplify(&self, trajectory: &Trajectory, delta: f64) -> SimplifiedTrajectory {
+        match self {
+            SimplificationMethod::Dp => crate::DouglasPeucker.simplify(trajectory, delta),
+            SimplificationMethod::DpPlus => crate::DouglasPeuckerPlus.simplify(trajectory, delta),
+            SimplificationMethod::DpStar => crate::DouglasPeuckerStar.simplify(trajectory, delta),
+        }
+    }
+}
+
+impl std::fmt::Display for SimplificationMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_names_match_paper() {
+        assert_eq!(SimplificationMethod::Dp.name(), "DP");
+        assert_eq!(SimplificationMethod::DpPlus.name(), "DP+");
+        assert_eq!(SimplificationMethod::DpStar.name(), "DP*");
+        assert_eq!(SimplificationMethod::ALL.len(), 3);
+        assert_eq!(SimplificationMethod::DpStar.to_string(), "DP*");
+    }
+
+    #[test]
+    fn method_dispatch_simplifies() {
+        let t = Trajectory::from_tuples([(0.0, 0.0, 0), (1.0, 0.0, 1), (2.0, 0.0, 2)]).unwrap();
+        for m in SimplificationMethod::ALL {
+            let s = m.simplify(&t, 10.0);
+            assert_eq!(s.num_points(), 2, "{m} should drop the collinear middle point");
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Error types shared by the trajectory data model.
+
+use std::fmt;
+
+/// Convenience result alias for fallible trajectory operations.
+pub type Result<T> = std::result::Result<T, TrajectoryError>;
+
+/// Errors produced when constructing or querying trajectories and databases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrajectoryError {
+    /// A trajectory was constructed from an empty point sequence.
+    EmptyTrajectory,
+    /// The timestamps of a trajectory's points were not strictly increasing.
+    NonMonotonicTime {
+        /// Index of the offending point within the input sequence.
+        index: usize,
+    },
+    /// A coordinate was NaN or infinite.
+    NonFiniteCoordinate {
+        /// Index of the offending point within the input sequence.
+        index: usize,
+    },
+    /// A location was requested outside the trajectory's time interval.
+    TimeOutOfRange {
+        /// The requested time point.
+        requested: i64,
+        /// Trajectory start time.
+        start: i64,
+        /// Trajectory end time.
+        end: i64,
+    },
+    /// The requested object does not exist in the database.
+    UnknownObject {
+        /// The requested object id.
+        id: u64,
+    },
+    /// An object id was inserted twice into a database.
+    DuplicateObject {
+        /// The duplicated object id.
+        id: u64,
+    },
+    /// A parse error from textual trajectory input (CSV et al.).
+    Parse {
+        /// Line number (1-based) at which parsing failed.
+        line: usize,
+        /// Human-readable description of the failure.
+        message: String,
+    },
+    /// An invalid parameter value was supplied (e.g. a non-positive λ).
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Explanation of the constraint that was violated.
+        message: String,
+    },
+}
+
+impl fmt::Display for TrajectoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrajectoryError::EmptyTrajectory => {
+                write!(f, "trajectory must contain at least one point")
+            }
+            TrajectoryError::NonMonotonicTime { index } => write!(
+                f,
+                "trajectory timestamps must be strictly increasing (violated at point {index})"
+            ),
+            TrajectoryError::NonFiniteCoordinate { index } => write!(
+                f,
+                "trajectory coordinates must be finite (violated at point {index})"
+            ),
+            TrajectoryError::TimeOutOfRange {
+                requested,
+                start,
+                end,
+            } => write!(
+                f,
+                "time {requested} is outside the trajectory interval [{start}, {end}]"
+            ),
+            TrajectoryError::UnknownObject { id } => {
+                write!(f, "object {id} is not present in the database")
+            }
+            TrajectoryError::DuplicateObject { id } => {
+                write!(f, "object {id} is already present in the database")
+            }
+            TrajectoryError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            TrajectoryError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrajectoryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(TrajectoryError, &str)> = vec![
+            (TrajectoryError::EmptyTrajectory, "at least one point"),
+            (
+                TrajectoryError::NonMonotonicTime { index: 3 },
+                "strictly increasing",
+            ),
+            (
+                TrajectoryError::NonFiniteCoordinate { index: 1 },
+                "finite",
+            ),
+            (
+                TrajectoryError::TimeOutOfRange {
+                    requested: 9,
+                    start: 0,
+                    end: 5,
+                },
+                "outside",
+            ),
+            (TrajectoryError::UnknownObject { id: 42 }, "42"),
+            (TrajectoryError::DuplicateObject { id: 7 }, "already"),
+            (
+                TrajectoryError::Parse {
+                    line: 12,
+                    message: "bad x".into(),
+                },
+                "line 12",
+            ),
+            (
+                TrajectoryError::InvalidParameter {
+                    name: "lambda",
+                    message: "must be positive".into(),
+                },
+                "lambda",
+            ),
+        ];
+        for (err, needle) in cases {
+            let text = err.to_string();
+            assert!(
+                text.contains(needle),
+                "`{text}` should mention `{needle}`"
+            );
+        }
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            TrajectoryError::UnknownObject { id: 1 },
+            TrajectoryError::UnknownObject { id: 1 }
+        );
+        assert_ne!(
+            TrajectoryError::UnknownObject { id: 1 },
+            TrajectoryError::UnknownObject { id: 2 }
+        );
+    }
+}

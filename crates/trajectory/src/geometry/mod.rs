@@ -1,0 +1,23 @@
+//! Geometry primitives used throughout the convoy-discovery stack.
+//!
+//! The paper's Definition 1 introduces four distance functions:
+//!
+//! * `D(p_u, p_v)` — Euclidean distance between two points
+//!   ([`point::Point::distance`]);
+//! * `DPL(p, l)` — shortest distance from a point to a line segment
+//!   ([`segment::Segment::distance_to_point`]);
+//! * `DLL(l_u, l_v)` — shortest distance between two line segments
+//!   ([`segment::Segment::distance_to_segment`]);
+//! * `Dmin(B_u, B_v)` — minimum distance between two boxes
+//!   ([`bbox::BoundingBox::min_distance`]).
+//!
+//! Section 6.2 additionally uses the closest-point-of-approach distance `D*`
+//! between two *timestamped* segments ([`segment::TimedSegment::cpa_distance`]).
+
+pub mod bbox;
+pub mod point;
+pub mod segment;
+
+pub use bbox::BoundingBox;
+pub use point::Point;
+pub use segment::{Segment, TimedSegment};

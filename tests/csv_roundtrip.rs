@@ -1,0 +1,48 @@
+//! Integration test: the CSV import/export path composes with discovery —
+//! exporting a generated dataset and re-importing it yields the same convoys.
+
+use convoy_suite::datasets::io::{read_csv, write_csv};
+use convoy_suite::prelude::*;
+
+#[test]
+fn discovery_results_survive_a_csv_round_trip() {
+    let profile = DatasetProfile::taxi().scaled(0.05);
+    let data = generate(&profile, 4242);
+    let query = ConvoyQuery::new(profile.m, profile.k, profile.e);
+
+    let direct = Discovery::new(Method::CutsStar).run(&data.database, &query);
+
+    let mut buffer = Vec::new();
+    write_csv(&data.database, &mut buffer).expect("serialise to CSV");
+    let restored = read_csv(buffer.as_slice()).expect("parse CSV");
+    assert_eq!(restored, data.database);
+
+    let roundtripped = Discovery::new(Method::CutsStar).run(&restored, &query);
+    assert_eq!(direct.convoys, roundtripped.convoys);
+}
+
+#[test]
+fn csv_import_tolerates_real_world_messiness() {
+    // Shuffled rows, duplicate fixes, comments, and a header: the importer
+    // must still produce a database the algorithms can run on.
+    let csv = "\
+object_id,t,x,y
+# vehicle 1
+1,3,3.0,0.0
+1,1,1.0,0.0
+1,2,2.0,0.0
+1,3,3.5,0.0
+2,1,1.0,1.0
+2,2,2.0,1.0
+2,3,3.0,1.0
+3,1,50.0,50.0
+3,2,51.0,50.0
+3,3,52.0,50.0
+";
+    let db = read_csv(csv.as_bytes()).expect("parse messy CSV");
+    assert_eq!(db.len(), 3);
+    let query = ConvoyQuery::new(2, 3, 1.5);
+    let outcome = Discovery::new(Method::Cmc).run(&db, &query);
+    assert_eq!(outcome.convoys.len(), 1);
+    assert_eq!(outcome.convoys[0].objects.len(), 2);
+}

@@ -1,0 +1,189 @@
+//! End-to-end integration tests: generate synthetic datasets with planted
+//! convoys, run every discovery algorithm through the public API, and check
+//! both accuracy (planted convoys are rediscovered) and the central
+//! correctness claim of the paper (the CuTS family returns exactly the CMC
+//! result set).
+
+use convoy_suite::core::query::result_sets_equivalent;
+use convoy_suite::prelude::*;
+
+/// Generates a dataset for a profile scaled down to test size, together with
+/// its Table 3 query.
+fn scenario(profile: DatasetProfile, seed: u64) -> (convoy_suite::datasets::GeneratedDataset, ConvoyQuery) {
+    let data = generate(&profile, seed);
+    let query = ConvoyQuery::new(profile.m, profile.k, profile.e);
+    (data, query)
+}
+
+#[test]
+fn planted_convoys_are_rediscovered_by_every_method() {
+    let (data, query) = scenario(DatasetProfile::truck().scaled(0.05), 101);
+    assert!(
+        !data.ground_truth.is_empty(),
+        "the scaled profile must still plant convoys"
+    );
+    for method in [Method::Cmc, Method::Cuts, Method::CutsPlus, Method::CutsStar] {
+        let outcome = Discovery::new(method).run(&data.database, &query);
+        for planted in &data.ground_truth {
+            // The planted groups live longer than k and have at least m
+            // members, so every method must report a convoy containing all
+            // planted members.
+            assert!(
+                planted.lifetime() >= query.k as i64,
+                "test scenario inconsistent: planted lifetime shorter than k"
+            );
+            let found = outcome.convoys.iter().any(|c| {
+                planted.members.iter().all(|m| c.objects.contains(*m))
+                    && c.lifetime() >= query.k as i64
+            });
+            assert!(
+                found,
+                "{} missed the planted convoy {:?} (found: {:?})",
+                method.name(),
+                planted.members,
+                outcome.convoys
+            );
+        }
+    }
+}
+
+#[test]
+fn cuts_family_matches_cmc_on_every_profile() {
+    for (profile, seed) in [
+        (DatasetProfile::truck().scaled(0.03), 1u64),
+        (DatasetProfile::cattle().scaled(0.01), 2),
+        (DatasetProfile::car().scaled(0.03), 3),
+        (DatasetProfile::taxi().scaled(0.05), 4),
+    ] {
+        let (data, query) = scenario(profile, seed);
+        let reference = Discovery::new(Method::Cmc).run(&data.database, &query);
+        for method in [Method::Cuts, Method::CutsPlus, Method::CutsStar] {
+            let outcome = Discovery::new(method).run(&data.database, &query);
+            assert!(
+                result_sets_equivalent(&outcome.convoys, &reference.convoys),
+                "{} disagrees with CMC on profile {:?}: {:?} vs {:?}",
+                method.name(),
+                data.profile.name,
+                outcome.convoys,
+                reference.convoys
+            );
+        }
+    }
+}
+
+#[test]
+fn cuts_agrees_with_cmc_under_explicit_parameter_overrides() {
+    let (data, query) = scenario(DatasetProfile::car().scaled(0.03), 9);
+    let reference = Discovery::new(Method::Cmc).run(&data.database, &query);
+    // Even deliberately poor δ / λ choices must not change the result set —
+    // they only change the running time (the paper's correctness claim).
+    for (delta_factor, lambda) in [(0.05, 2usize), (0.5, 7), (2.0, 25), (4.0, 60)] {
+        for method in [Method::Cuts, Method::CutsPlus, Method::CutsStar] {
+            let config = CutsConfig::new(method.cuts_variant().unwrap())
+                .with_delta(query.e * delta_factor)
+                .with_lambda(lambda);
+            let outcome = Discovery::new(method).with_config(config).run(&data.database, &query);
+            assert!(
+                result_sets_equivalent(&outcome.convoys, &reference.convoys),
+                "{} with δ-factor {delta_factor} and λ {lambda} diverged from CMC",
+                method.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn global_and_actual_tolerance_modes_agree() {
+    let (data, query) = scenario(DatasetProfile::taxi().scaled(0.08), 21);
+    let reference = Discovery::new(Method::Cmc).run(&data.database, &query);
+    for mode in [ToleranceMode::Global, ToleranceMode::Actual] {
+        let config = CutsConfig::new(CutsVariant::CutsStar).with_tolerance_mode(mode);
+        let outcome = Discovery::new(Method::CutsStar)
+            .with_config(config)
+            .run(&data.database, &query);
+        assert!(
+            result_sets_equivalent(&outcome.convoys, &reference.convoys),
+            "tolerance mode {mode:?} changed the result set"
+        );
+    }
+}
+
+#[test]
+fn results_are_deterministic_across_runs() {
+    let (data, query) = scenario(DatasetProfile::truck().scaled(0.04), 33);
+    for method in [Method::Cmc, Method::CutsStar] {
+        let a = Discovery::new(method).run(&data.database, &query);
+        let b = Discovery::new(method).run(&data.database, &query);
+        assert_eq!(a.convoys, b.convoys, "{} is not deterministic", method.name());
+    }
+}
+
+#[test]
+fn every_reported_convoy_satisfies_the_query_definition() {
+    // Stronger than set equivalence: verify the defining property of
+    // Definition 3 directly against the database — at every time point of the
+    // convoy's interval, its members must be density-connected w.r.t. e, m.
+    let (data, query) = scenario(DatasetProfile::car().scaled(0.04), 55);
+    let outcome = Discovery::new(Method::CutsStar).run(&data.database, &query);
+    for convoy in &outcome.convoys {
+        assert!(convoy.objects.len() >= query.m);
+        assert!(convoy.lifetime() >= query.k as i64);
+        for t in convoy.interval().iter() {
+            let snapshot = data
+                .database
+                .snapshot(t, convoy_suite::trajectory::SnapshotPolicy::Interpolate);
+            let clusters = snapshot_clusters(&snapshot, query.e, query.m);
+            let members_connected = clusters
+                .iter()
+                .any(|cluster| convoy.objects.iter().all(|o| cluster.contains(o)));
+            assert!(
+                members_connected,
+                "convoy {convoy} is not density-connected at t={t}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mc2_is_not_a_convoy_algorithm() {
+    // The appendix-B claim: on data with drifting group membership, MC2
+    // either over- or under-reports relative to CMC, depending on θ. Build a
+    // scenario with exactly that structure through the public API: a stable
+    // pair plus a third object that flickers in and out of the group.
+    let mut db = TrajectoryDatabase::new();
+    for lane in 0..2u64 {
+        let mut builder = TrajectoryBuilder::new();
+        for t in 0..40i64 {
+            builder.add(t as f64, lane as f64 * 0.5, t);
+        }
+        db.insert(ObjectId(lane), builder.build().unwrap());
+    }
+    let mut flicker = TrajectoryBuilder::new();
+    for t in 0..40i64 {
+        let y = if t % 2 == 0 { 1.0 } else { 80.0 };
+        flicker.add(t as f64, y, t);
+    }
+    db.insert(ObjectId(9), flicker.build().unwrap());
+
+    let query = ConvoyQuery::new(2, 40, 1.5);
+    let reference = Discovery::new(Method::Cmc).run(&db, &query);
+    assert_eq!(reference.convoys.len(), 1, "CMC finds the stable pair");
+
+    let mut total_errors = 0usize;
+    for theta in [0.4, 0.6, 0.8, 1.0] {
+        let reported = mc2(
+            &db,
+            &Mc2Config {
+                e: query.e,
+                m: query.m,
+                theta,
+            },
+        );
+        let accuracy = compare_result_sets(&reported, &reference.convoys, &query);
+        total_errors += accuracy.false_positives + accuracy.false_negatives;
+    }
+    assert!(
+        total_errors > 0,
+        "MC2 unexpectedly produced exact convoy results for every θ"
+    );
+}

@@ -1,0 +1,101 @@
+//! Robustness integration tests: the discovery pipeline under GPS noise,
+//! heavy down-sampling and degenerate inputs.
+
+use convoy_suite::core::query::result_sets_equivalent;
+use convoy_suite::datasets::{add_gps_noise, downsample, stride_sample};
+use convoy_suite::prelude::*;
+
+#[test]
+fn planted_convoys_survive_moderate_gps_noise() {
+    let profile = DatasetProfile::truck().scaled(0.05);
+    let data = generate(&profile, 303);
+    // Planted members stay within e/2 of their leader; noise bounded by
+    // e/(4·√2) keeps every pairwise distance within e.
+    let noise = profile.e / (4.0 * std::f64::consts::SQRT_2);
+    let noisy = add_gps_noise(&data.database, noise, 1);
+    let query = ConvoyQuery::new(profile.m, profile.k, profile.e);
+    let outcome = Discovery::new(Method::CutsStar).run(&noisy, &query);
+    for planted in &data.ground_truth {
+        let found = outcome.convoys.iter().any(|c| {
+            planted.members.iter().all(|m| c.objects.contains(*m))
+                && c.lifetime() >= query.k as i64
+        });
+        assert!(found, "noise of {noise:.2} broke the planted convoy {planted:?}");
+    }
+}
+
+#[test]
+fn cuts_still_matches_cmc_on_noisy_downsampled_data() {
+    let profile = DatasetProfile::car().scaled(0.03);
+    let data = generate(&profile, 404);
+    let perturbed = downsample(&add_gps_noise(&data.database, profile.e * 0.2, 5), 0.3, 6);
+    let query = ConvoyQuery::new(profile.m, profile.k, profile.e);
+    let reference = Discovery::new(Method::Cmc).run(&perturbed, &query);
+    for method in [Method::Cuts, Method::CutsPlus, Method::CutsStar] {
+        let outcome = Discovery::new(method).run(&perturbed, &query);
+        assert!(
+            result_sets_equivalent(&outcome.convoys, &reference.convoys),
+            "{} diverged from CMC on perturbed data",
+            method.name()
+        );
+    }
+}
+
+#[test]
+fn coarse_reporting_intervals_are_handled() {
+    // Stride-sampling emulates the Taxi feed ("some taxis reported their
+    // locations every three minutes"): large gaps between samples, which CMC
+    // bridges by interpolation and CuTS by the time-interval bookkeeping of
+    // its simplified segments.
+    let profile = DatasetProfile::taxi().scaled(0.1);
+    let data = generate(&profile, 505);
+    let coarse = stride_sample(&data.database, 5);
+    let query = ConvoyQuery::new(profile.m, profile.k, profile.e);
+    let reference = Discovery::new(Method::Cmc).run(&coarse, &query);
+    let outcome = Discovery::new(Method::CutsStar).run(&coarse, &query);
+    assert!(result_sets_equivalent(&outcome.convoys, &reference.convoys));
+}
+
+#[test]
+fn degenerate_queries_do_not_panic() {
+    let profile = DatasetProfile::truck().scaled(0.02);
+    let data = generate(&profile, 606);
+    let db = &data.database;
+    let domain_len = db.time_domain().unwrap().num_points();
+
+    // k longer than the domain: no convoy can exist.
+    let too_long = ConvoyQuery::new(2, (domain_len + 10) as usize, profile.e);
+    for method in [Method::Cmc, Method::Cuts, Method::CutsPlus, Method::CutsStar] {
+        assert!(Discovery::new(method).run(db, &too_long).convoys.is_empty());
+    }
+
+    // m larger than the object count: no convoy can exist.
+    let too_big = ConvoyQuery::new(db.len() + 1, 2, profile.e);
+    assert!(Discovery::new(Method::CutsStar).run(db, &too_big).convoys.is_empty());
+
+    // A tiny e so nothing is density-connected.
+    let too_tight = ConvoyQuery::new(2, 2, 1e-9);
+    assert!(Discovery::new(Method::Cmc).run(db, &too_tight).convoys.is_empty());
+
+    // An empty database.
+    let empty = TrajectoryDatabase::new();
+    let query = ConvoyQuery::new(2, 2, 1.0);
+    for method in [Method::Cmc, Method::CutsStar] {
+        assert!(Discovery::new(method).run(&empty, &query).convoys.is_empty());
+    }
+
+    // A database of single-sample trajectories (k = 1, m = 2): every pair of
+    // co-located loners forms a one-instant convoy; nothing may panic.
+    let mut singles = TrajectoryDatabase::new();
+    for i in 0..4u64 {
+        singles.insert(
+            ObjectId(i),
+            Trajectory::from_tuples([(i as f64 * 0.1, 0.0, 0)]).unwrap(),
+        );
+    }
+    let instant_query = ConvoyQuery::new(2, 1, 1.0);
+    let cmc_out = Discovery::new(Method::Cmc).run(&singles, &instant_query);
+    let cuts_out = Discovery::new(Method::CutsStar).run(&singles, &instant_query);
+    assert!(result_sets_equivalent(&cmc_out.convoys, &cuts_out.convoys));
+    assert!(!cmc_out.convoys.is_empty());
+}
