@@ -33,9 +33,7 @@ fn bench_fig13(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("{variant}/simplification"), name.name()),
                 &delta,
-                |b, &delta| {
-                    b.iter(|| simplify_database(&data.dataset.database, &config, delta))
-                },
+                |b, &delta| b.iter(|| simplify_database(&data.dataset.database, &config, delta)),
             );
             group.bench_with_input(
                 BenchmarkId::new(format!("{variant}/filter"), name.name()),

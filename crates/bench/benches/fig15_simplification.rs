@@ -26,7 +26,7 @@ fn bench_fig15(c: &mut Criterion) {
                             .database
                             .iter()
                             .map(|(_, traj)| method.simplify(traj, delta))
-                            .count()
+                            .collect::<Vec<_>>()
                     })
                 },
             );

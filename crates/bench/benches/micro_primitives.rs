@@ -10,7 +10,9 @@ use rand::{Rng, SeedableRng};
 use traj_cluster::{snapshot_clusters, SegmentDistance, SubTrajectory};
 use traj_simplify::{DouglasPeucker, DouglasPeuckerStar, Simplifier, ToleranceMode};
 use trajectory::geometry::{Point, Segment, TimedSegment};
-use trajectory::{ObjectId, TimeInterval, TrajPoint, Trajectory, TrajectoryDatabase, SnapshotPolicy};
+use trajectory::{
+    ObjectId, SnapshotPolicy, TimeInterval, TrajPoint, Trajectory, TrajectoryDatabase,
+};
 
 fn random_trajectory(rng: &mut StdRng, len: usize) -> Trajectory {
     let mut x = 0.0f64;

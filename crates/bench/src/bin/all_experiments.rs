@@ -46,7 +46,14 @@ fn measure_profile(name: ProfileName, scale: f64) -> ProfileResults {
             method.to_string(),
             format!("{elapsed:.4}"),
             run.outcome.convoys.len().to_string(),
-            format!("{:.2}", if elapsed > 0.0 { cmc_time / elapsed } else { f64::INFINITY }),
+            format!(
+                "{:.2}",
+                if elapsed > 0.0 {
+                    cmc_time / elapsed
+                } else {
+                    f64::INFINITY
+                }
+            ),
         ]);
     }
     let cuts_star_run = cuts_star_run.expect("CuTS* always runs");
@@ -193,17 +200,16 @@ fn main() {
 
     // One worker thread per dataset profile: the profiles are independent, so
     // this cuts the wall-clock time of the suite roughly in four.
-    let results: Vec<ProfileResults> = crossbeam::thread::scope(|scope| {
+    let results: Vec<ProfileResults> = std::thread::scope(|scope| {
         let handles: Vec<_> = ProfileName::ALL
             .iter()
-            .map(|name| scope.spawn(move |_| measure_profile(*name, scale)))
+            .map(|name| scope.spawn(move || measure_profile(*name, scale)))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("profile worker panicked"))
             .collect()
-    })
-    .expect("crossbeam scope failed");
+    });
 
     let mut table3 = Report::new(
         "table3",
@@ -223,7 +229,13 @@ fn main() {
     );
     let mut fig12 = Report::new(
         "fig12",
-        &["dataset", "method", "elapsed_seconds", "convoys", "speedup_vs_cmc"],
+        &[
+            "dataset",
+            "method",
+            "elapsed_seconds",
+            "convoys",
+            "speedup_vs_cmc",
+        ],
     );
     let mut fig13 = Report::new(
         "fig13",

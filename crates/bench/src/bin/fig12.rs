@@ -14,7 +14,13 @@ fn main() {
     let scale = scale_from_env();
     let mut report = Report::new(
         "fig12",
-        &["dataset", "method", "elapsed_seconds", "convoys", "speedup_vs_cmc"],
+        &[
+            "dataset",
+            "method",
+            "elapsed_seconds",
+            "convoys",
+            "speedup_vs_cmc",
+        ],
     );
     eprintln!("# Figure 12 reproduction (scale = {scale})");
 
@@ -28,7 +34,13 @@ fn main() {
                 cmc_time = Some(elapsed);
             }
             let speedup = cmc_time
-                .map(|base| if elapsed > 0.0 { base / elapsed } else { f64::INFINITY })
+                .map(|base| {
+                    if elapsed > 0.0 {
+                        base / elapsed
+                    } else {
+                        f64::INFINITY
+                    }
+                })
                 .unwrap_or(1.0);
             report.push_row(&[
                 name.to_string(),

@@ -17,10 +17,17 @@ fn main() {
     // timing panel) for a dataset with e = 300; we sweep the same fractions
     // of e so the sweep stays meaningful if the profile's e changes.
     let e = data.query.e;
-    let deltas: Vec<f64> = [1.0 / 30.0, 2.0 / 30.0, 0.1, 4.0 / 30.0, 0.5 / 3.0, 7.0 / 30.0]
-        .iter()
-        .map(|f| f * e)
-        .collect();
+    let deltas: Vec<f64> = [
+        1.0 / 30.0,
+        2.0 / 30.0,
+        0.1,
+        4.0 / 30.0,
+        0.5 / 3.0,
+        7.0 / 30.0,
+    ]
+    .iter()
+    .map(|f| f * e)
+    .collect();
 
     let mut report = Report::new(
         "fig15",

@@ -38,8 +38,7 @@ fn main() {
                 theta,
             };
             let reported = mc2(&data.dataset.database, &config);
-            let accuracy =
-                compare_result_sets(&reported, &reference.outcome.convoys, &data.query);
+            let accuracy = compare_result_sets(&reported, &reference.outcome.convoys, &data.query);
             report.push_row(&[
                 name.to_string(),
                 format!("{theta:.1}"),

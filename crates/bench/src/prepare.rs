@@ -1,7 +1,7 @@
 //! Dataset preparation shared by every experiment binary and bench.
 
-use traj_datasets::{generate, DatasetProfile, GeneratedDataset, ProfileName};
 use convoy_core::ConvoyQuery;
+use traj_datasets::{generate, DatasetProfile, GeneratedDataset, ProfileName};
 
 /// Default scale applied to the paper-sized profiles when `CONVOY_SCALE` is
 /// not set: large enough that the algorithmic trade-offs are visible, small

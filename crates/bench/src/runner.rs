@@ -53,8 +53,8 @@ pub fn sweep_delta(prepared: &PreparedDataset, deltas: &[f64]) -> Vec<(f64, Meas
     let mut out = Vec::with_capacity(deltas.len() * 3);
     for &delta in deltas {
         for method in [Method::Cuts, Method::CutsPlus, Method::CutsStar] {
-            let config = CutsConfig::new(method.cuts_variant().expect("CuTS method"))
-                .with_delta(delta);
+            let config =
+                CutsConfig::new(method.cuts_variant().expect("CuTS method")).with_delta(delta);
             out.push((delta, run_method(prepared, method, Some(config))));
         }
     }
@@ -66,8 +66,8 @@ pub fn sweep_lambda(prepared: &PreparedDataset, lambdas: &[usize]) -> Vec<(usize
     let mut out = Vec::with_capacity(lambdas.len() * 3);
     for &lambda in lambdas {
         for method in [Method::Cuts, Method::CutsPlus, Method::CutsStar] {
-            let config = CutsConfig::new(method.cuts_variant().expect("CuTS method"))
-                .with_lambda(lambda);
+            let config =
+                CutsConfig::new(method.cuts_variant().expect("CuTS method")).with_lambda(lambda);
             out.push((lambda, run_method(prepared, method, Some(config))));
         }
     }
@@ -100,11 +100,11 @@ mod tests {
         let data = prepared(ProfileName::Taxi, 0.02);
         let runs = sweep_delta(&data, &[1.0, 10.0]);
         assert_eq!(runs.len(), 6);
-        assert!(runs.iter().all(|(d, r)| (*d - r.outcome.stats.delta).abs() < 1e-12));
-        let runs = sweep_lambda(&data, &[4, 8, 16]);
-        assert_eq!(runs.len(), 9);
         assert!(runs
             .iter()
-            .all(|(l, r)| *l == r.outcome.stats.lambda));
+            .all(|(d, r)| (*d - r.outcome.stats.delta).abs() < 1e-12));
+        let runs = sweep_lambda(&data, &[4, 8, 16]);
+        assert_eq!(runs.len(), 9);
+        assert!(runs.iter().all(|(l, r)| *l == r.outcome.stats.lambda));
     }
 }

@@ -57,7 +57,10 @@ impl ParsedArgs {
                 if key.is_empty() {
                     return Err(ArgError("empty option name `--`".into()));
                 }
-                let next_is_value = raw.get(i + 1).map(|v| !v.starts_with("--")).unwrap_or(false);
+                let next_is_value = raw
+                    .get(i + 1)
+                    .map(|v| !v.starts_with("--"))
+                    .unwrap_or(false);
                 if next_is_value {
                     if parsed.options.contains_key(key) {
                         return Err(ArgError(format!("option --{key} given twice")));

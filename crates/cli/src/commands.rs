@@ -4,7 +4,7 @@
 
 use crate::args::{ArgError, ParsedArgs};
 use convoy_core::{
-    compare_result_sets, mc2, CutsConfig, CutsVariant, Discovery, ConvoyQuery, Mc2Config, Method,
+    compare_result_sets, mc2, ConvoyQuery, CutsConfig, CutsVariant, Discovery, Mc2Config, Method,
 };
 use traj_datasets::io::{read_csv_file, write_csv_file};
 use traj_datasets::{generate, DatasetProfile, ProfileName};
@@ -370,9 +370,18 @@ mod tests {
         let args = ParsedArgs::parse([path.as_str(), "--m", "3", "--k", "10"]).unwrap();
         assert!(discover_command(&args).is_err());
         // Unknown option.
-        let args =
-            ParsedArgs::parse([path.as_str(), "--m", "3", "--k", "10", "--e", "5", "--bogus", "1"])
-                .unwrap();
+        let args = ParsedArgs::parse([
+            path.as_str(),
+            "--m",
+            "3",
+            "--k",
+            "10",
+            "--e",
+            "5",
+            "--bogus",
+            "1",
+        ])
+        .unwrap();
         assert!(discover_command(&args).is_err());
         // Unknown method.
         let args = ParsedArgs::parse([
@@ -389,8 +398,8 @@ mod tests {
         .unwrap();
         assert!(discover_command(&args).is_err());
         // Missing file.
-        let args = ParsedArgs::parse(["/no/such/file.csv", "--m", "3", "--k", "1", "--e", "5"])
-            .unwrap();
+        let args =
+            ParsedArgs::parse(["/no/such/file.csv", "--m", "3", "--k", "1", "--e", "5"]).unwrap();
         assert!(discover_command(&args).is_err());
     }
 
@@ -444,7 +453,9 @@ mod tests {
 
     #[test]
     fn dispatch_and_help() {
-        assert!(run("help", &ParsedArgs::default()).unwrap().contains("USAGE"));
+        assert!(run("help", &ParsedArgs::default())
+            .unwrap()
+            .contains("USAGE"));
         assert!(run("no-such-command", &ParsedArgs::default()).is_err());
     }
 

@@ -22,7 +22,19 @@ fn main() {
         }
     };
     match commands::run(&command, &parsed) {
-        Ok(report) => println!("{report}"),
+        Ok(report) => {
+            use std::io::Write;
+            let mut stdout = std::io::stdout();
+            if let Err(e) = writeln!(stdout, "{report}") {
+                // A closed pipe (e.g. `convoy stats file.csv | head`) is a
+                // normal way for a consumer to stop reading, not an error.
+                if e.kind() == std::io::ErrorKind::BrokenPipe {
+                    std::process::exit(0);
+                }
+                eprintln!("error: cannot write output: {e}");
+                std::process::exit(1);
+            }
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);

@@ -1,0 +1,171 @@
+//! Process-level smoke tests of the `convoy` binary: usage text and exit
+//! codes per subcommand (exit 2 for argument-syntax errors, 1 for command
+//! failures, 0 for success), following the assert_cmd pattern.
+
+use assert_cmd::Command;
+
+fn convoy() -> Command {
+    Command::cargo_bin("convoy").expect("convoy binary built by cargo test")
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("convoy-cli-smoke");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn no_arguments_prints_usage_on_stderr_and_exits_2() {
+    convoy()
+        .assert()
+        .failure()
+        .code(2)
+        .stdout_is_empty()
+        .stderr_contains("USAGE:")
+        .stderr_contains("convoy <command>");
+}
+
+#[test]
+fn help_prints_usage_on_stdout_and_succeeds() {
+    convoy()
+        .arg("help")
+        .assert()
+        .success()
+        .stdout_contains("USAGE:")
+        .stdout_contains("discover")
+        .stdout_contains("generate");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    convoy()
+        .arg("migrate")
+        .assert()
+        .failure()
+        .code(1)
+        .stderr_contains("unknown command `migrate`")
+        .stderr_contains("USAGE:");
+}
+
+#[test]
+fn malformed_option_syntax_exits_2() {
+    // A duplicated option is an argument-syntax error, reported before any
+    // command logic runs.
+    convoy()
+        .args(["discover", "in.csv", "--m", "1", "--m", "2"])
+        .assert()
+        .failure()
+        .code(2)
+        .stderr_contains("given twice");
+}
+
+#[test]
+fn generate_requires_profile_and_out() {
+    convoy()
+        .args(["generate", "--out", "/tmp/never-written.csv"])
+        .assert()
+        .failure()
+        .code(1)
+        .stderr_contains("missing --profile");
+    convoy()
+        .args(["generate", "--profile", "truck"])
+        .assert()
+        .failure()
+        .code(1)
+        .stderr_contains("missing --out");
+}
+
+#[test]
+fn stats_requires_an_input_path() {
+    convoy()
+        .arg("stats")
+        .assert()
+        .failure()
+        .code(1)
+        .stderr_contains("missing input CSV path");
+}
+
+#[test]
+fn discover_requires_query_parameters() {
+    let path = temp_path("query-params.csv");
+    std::fs::write(&path, "object_id,t,x,y\n1,0,0.0,0.0\n1,1,1.0,0.0\n").unwrap();
+    convoy()
+        .args(["discover", path.to_str().unwrap(), "--k", "2", "--e", "1.0"])
+        .assert()
+        .failure()
+        .code(1)
+        .stderr_contains("missing required option --m");
+}
+
+#[test]
+fn discover_rejects_unknown_method_and_missing_file() {
+    let path = temp_path("bad-method.csv");
+    std::fs::write(&path, "object_id,t,x,y\n1,0,0.0,0.0\n").unwrap();
+    convoy()
+        .args(["discover", path.to_str().unwrap()])
+        .args(["--m", "2", "--k", "2", "--e", "1.0", "--method", "flock"])
+        .assert()
+        .failure()
+        .code(1)
+        .stderr_contains("unknown method `flock`");
+    convoy()
+        .args(["discover", "/no/such/file.csv", "--m", "2", "--k", "2"])
+        .args(["--e", "1.0"])
+        .assert()
+        .failure()
+        .code(1);
+}
+
+#[test]
+fn simplify_requires_delta() {
+    let path = temp_path("simplify-delta.csv");
+    std::fs::write(&path, "object_id,t,x,y\n1,0,0.0,0.0\n1,1,1.0,0.0\n").unwrap();
+    convoy()
+        .args(["simplify", path.to_str().unwrap()])
+        .assert()
+        .failure()
+        .code(1)
+        .stderr_contains("missing required option --delta");
+}
+
+#[test]
+fn compare_rejects_theta_outside_unit_interval() {
+    let path = temp_path("compare-theta.csv");
+    std::fs::write(&path, "object_id,t,x,y\n1,0,0.0,0.0\n1,1,1.0,0.0\n").unwrap();
+    convoy()
+        .args(["compare", path.to_str().unwrap()])
+        .args(["--m", "2", "--k", "2", "--e", "1.0", "--theta", "1.5"])
+        .assert()
+        .failure()
+        .code(1)
+        .stderr_contains("--theta must be within [0, 1]");
+}
+
+#[test]
+fn generate_stats_discover_pipeline_succeeds() {
+    let path = temp_path("pipeline.csv");
+    convoy()
+        .args(["generate", "--profile", "truck", "--scale", "0.02"])
+        .args(["--seed", "7", "--out", path.to_str().unwrap()])
+        .assert()
+        .success()
+        .stdout_contains("wrote")
+        .stdout_contains("suggested query:");
+    convoy()
+        .args(["stats", path.to_str().unwrap()])
+        .assert()
+        .success()
+        .stdout_contains("number of objects")
+        .stdout_contains("time domain");
+    convoy()
+        .args(["discover", path.to_str().unwrap()])
+        .args(["--method", "cuts-star", "--m", "3", "--k", "5", "--e", "10"])
+        .assert()
+        .success()
+        .stdout_contains("convoy(s) found by CuTS*");
+    convoy()
+        .args(["simplify", path.to_str().unwrap(), "--delta", "2.0"])
+        .assert()
+        .success()
+        .stdout_contains("reduction");
+}

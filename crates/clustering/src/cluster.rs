@@ -125,10 +125,7 @@ mod tests {
     fn construction_sorts_and_dedups() {
         let c = cluster(&[3, 1, 2, 3, 1]);
         assert_eq!(c.len(), 3);
-        assert_eq!(
-            c.members(),
-            &[ObjectId(1), ObjectId(2), ObjectId(3)]
-        );
+        assert_eq!(c.members(), &[ObjectId(1), ObjectId(2), ObjectId(3)]);
         assert!(c.contains(ObjectId(2)));
         assert!(!c.contains(ObjectId(9)));
     }

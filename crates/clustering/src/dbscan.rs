@@ -247,6 +247,52 @@ mod tests {
         assert_eq!(clusters[0].len(), 3);
     }
 
+    #[test]
+    fn epsilon_boundary_is_inclusive() {
+        // Neighbourhoods use d <= e (Definition 1 uses closed balls): three
+        // points spaced *exactly* e apart chain into one cluster, and each
+        // endpoint has exactly 2 neighbours (itself + the middle point).
+        let pts: Vec<Point> = [(0.0, 0.0), (3.0, 0.0), (6.0, 0.0)]
+            .iter()
+            .map(|(x, y)| Point::new(*x, *y))
+            .collect();
+        let provider = BruteForcePoints::new(&pts, 3.0);
+        assert_eq!(provider.neighbors(0).len(), 2);
+        assert_eq!(provider.neighbors(1).len(), 3); // middle point sees all
+        let labels = dbscan(&provider, 3);
+        let clusters = labels_to_clusters(&labels);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn early_noise_is_reclaimed_as_border_point() {
+        // Index 0 is visited first and labelled noise (only 2 of the required
+        // 3 neighbours). The cluster grown later from index 1 reaches it
+        // through the core point at (2, 0) and must re-label it as border.
+        let labels = run(&[(4.0, 0.0), (0.0, 0.0), (1.0, 0.0), (2.0, 0.0)], 2.0, 3);
+        assert!(
+            matches!(labels[0], Label::Cluster(_)),
+            "early noise point must be claimed by the later cluster, got {:?}",
+            labels[0]
+        );
+        let clusters = labels_to_clusters(&labels);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 4);
+    }
+
+    #[test]
+    fn core_requirement_counts_the_point_itself() {
+        // An equilateral-ish triangle with pairwise distances within e: every
+        // point has 3 neighbours including itself, so m=3 clusters them and
+        // m=4 leaves all of them noise.
+        let triangle = [(0.0, 0.0), (1.0, 0.0), (0.5, 0.8)];
+        let clusters = labels_to_clusters(&run(&triangle, 1.5, 3));
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 3);
+        assert!(run(&triangle, 1.5, 4).iter().all(|l| *l == Label::Noise));
+    }
+
     proptest! {
         #[test]
         fn every_cluster_has_at_least_one_core_point(

@@ -44,7 +44,10 @@ impl GridIndex {
 
     #[inline]
     fn cell_of(p: &Point, epsilon: f64) -> (i64, i64) {
-        ((p.x / epsilon).floor() as i64, (p.y / epsilon).floor() as i64)
+        (
+            (p.x / epsilon).floor() as i64,
+            (p.y / epsilon).floor() as i64,
+        )
     }
 
     /// The number of indexed points.
@@ -103,7 +106,11 @@ pub fn snapshot_clusters(snapshot: &Snapshot, e: f64, m: usize) -> Vec<Cluster> 
         return Vec::new();
     }
     let ids: Vec<ObjectId> = snapshot.entries.iter().map(|entry| entry.id).collect();
-    let points: Vec<Point> = snapshot.entries.iter().map(|entry| entry.position).collect();
+    let points: Vec<Point> = snapshot
+        .entries
+        .iter()
+        .map(|entry| entry.position)
+        .collect();
     let index = GridIndex::build(points, e);
     let labels = dbscan(&index, m);
     labels_to_clusters(&labels)
@@ -123,7 +130,11 @@ pub fn snapshot_clusters_with_noise(
         return (Vec::new(), Vec::new());
     }
     let ids: Vec<ObjectId> = snapshot.entries.iter().map(|entry| entry.id).collect();
-    let points: Vec<Point> = snapshot.entries.iter().map(|entry| entry.position).collect();
+    let points: Vec<Point> = snapshot
+        .entries
+        .iter()
+        .map(|entry| entry.position)
+        .collect();
     let index = GridIndex::build(points, e);
     let labels = dbscan(&index, m);
     let clusters = labels_to_clusters(&labels)

@@ -44,6 +44,4 @@ pub mod segment;
 pub use cluster::Cluster;
 pub use dbscan::{dbscan, Label, RegionQuery};
 pub use grid::{snapshot_clusters, GridIndex};
-pub use segment::{
-    cluster_sub_trajectories, omega_distance, SegmentDistance, SubTrajectory,
-};
+pub use segment::{cluster_sub_trajectories, omega_distance, SegmentDistance, SubTrajectory};

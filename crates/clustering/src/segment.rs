@@ -241,7 +241,10 @@ impl<'a> SubTrajectoryQuery<'a> {
 
     #[inline]
     fn cell_of(x: f64, y: f64, cell_size: f64) -> (i64, i64) {
-        ((x / cell_size).floor() as i64, (y / cell_size).floor() as i64)
+        (
+            (x / cell_size).floor() as i64,
+            (y / cell_size).floor() as i64,
+        )
     }
 
     /// Candidate item indices whose tolerance-expanded bounding box can lie
@@ -289,8 +292,7 @@ impl RegionQuery for SubTrajectoryQuery<'_> {
                 continue;
             }
             // Lemma 2: bounding-box pre-filter with δ_max values.
-            let bound =
-                self.epsilon + self.max_tolerances[idx] + self.max_tolerances[j];
+            let bound = self.epsilon + self.max_tolerances[idx] + self.max_tolerances[j];
             if self.bboxes[idx].min_distance(&self.bboxes[j]) > bound {
                 continue;
             }
@@ -364,8 +366,7 @@ mod tests {
         let omega = omega_distance(&sa, &sb, SegmentDistance::Dll, ToleranceMode::Actual);
         assert!((omega - 5.0).abs() < 1e-9);
         // With the global tolerance the bound is looser by 2·δ.
-        let omega_global =
-            omega_distance(&sa, &sb, SegmentDistance::Dll, ToleranceMode::Global);
+        let omega_global = omega_distance(&sa, &sb, SegmentDistance::Dll, ToleranceMode::Global);
         assert!((omega_global - 4.0).abs() < 1e-9);
     }
 
@@ -403,7 +404,10 @@ mod tests {
         let sb = sub(2, &b, 0.1, window);
         let dll = omega_distance(&sa, &sb, SegmentDistance::Dll, ToleranceMode::Actual);
         let dstar = omega_distance(&sa, &sb, SegmentDistance::DStar, ToleranceMode::Actual);
-        assert!(dstar >= dll - 1e-9, "D* ω ({dstar}) must be ≥ DLL ω ({dll})");
+        assert!(
+            dstar >= dll - 1e-9,
+            "D* ω ({dstar}) must be ≥ DLL ω ({dll})"
+        );
     }
 
     #[test]
@@ -415,22 +419,24 @@ mod tests {
         let traj = Trajectory::from_points(pts).unwrap();
         let simplified = DouglasPeucker.simplify(&traj, 0.5);
         assert_eq!(simplified.segments().len(), 2);
-        let early = SubTrajectory::for_window(ObjectId(1), &simplified, TimeInterval::new(0, 5))
-            .unwrap();
+        let early =
+            SubTrajectory::for_window(ObjectId(1), &simplified, TimeInterval::new(0, 5)).unwrap();
         assert_eq!(early.segments.len(), 1);
         let spanning =
             SubTrajectory::for_window(ObjectId(1), &simplified, TimeInterval::new(5, 15)).unwrap();
         assert_eq!(spanning.segments.len(), 2);
-        assert!(SubTrajectory::for_window(ObjectId(1), &simplified, TimeInterval::new(30, 40))
-            .is_none());
+        assert!(
+            SubTrajectory::for_window(ObjectId(1), &simplified, TimeInterval::new(30, 40))
+                .is_none()
+        );
     }
 
     #[test]
     fn single_sample_object_gets_degenerate_segment() {
         let traj = Trajectory::from_tuples([(3.0, 3.0, 5)]).unwrap();
         let simplified = DouglasPeucker.simplify(&traj, 0.5);
-        let s = SubTrajectory::for_window(ObjectId(1), &simplified, TimeInterval::new(0, 10))
-            .unwrap();
+        let s =
+            SubTrajectory::for_window(ObjectId(1), &simplified, TimeInterval::new(0, 10)).unwrap();
         assert_eq!(s.segments.len(), 1);
         assert!(s.segments[0].segment().is_degenerate());
         assert!(
@@ -446,9 +452,24 @@ mod tests {
             sub(1, &straight_trajectory(0.0, 0.0, 1.0, 0.0, 20), 0.5, window),
             sub(2, &straight_trajectory(0.0, 1.0, 1.0, 0.0, 20), 0.5, window),
             sub(3, &straight_trajectory(0.0, 2.0, 1.0, 0.0, 20), 0.5, window),
-            sub(4, &straight_trajectory(100.0, 0.0, 0.0, 1.0, 20), 0.5, window),
-            sub(5, &straight_trajectory(101.0, 0.0, 0.0, 1.0, 20), 0.5, window),
-            sub(6, &straight_trajectory(500.0, 500.0, -1.0, 1.0, 20), 0.5, window),
+            sub(
+                4,
+                &straight_trajectory(100.0, 0.0, 0.0, 1.0, 20),
+                0.5,
+                window,
+            ),
+            sub(
+                5,
+                &straight_trajectory(101.0, 0.0, 0.0, 1.0, 20),
+                0.5,
+                window,
+            ),
+            sub(
+                6,
+                &straight_trajectory(500.0, 500.0, -1.0, 1.0, 20),
+                0.5,
+                window,
+            ),
         ];
         let clusters =
             cluster_sub_trajectories(&items, 1.5, 2, SegmentDistance::Dll, ToleranceMode::Actual);

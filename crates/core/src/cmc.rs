@@ -156,7 +156,11 @@ mod tests {
             (0..10).map(|t| (t as f64, 0.5, t as i64)).collect(),
             (0..10)
                 .map(|t| {
-                    let y = if t <= 4 { 1.0 } else { 1.0 + (t - 4) as f64 * 10.0 };
+                    let y = if t <= 4 {
+                        1.0
+                    } else {
+                        1.0 + (t - 4) as f64 * 10.0
+                    };
                     (t as f64, y, t as i64)
                 })
                 .collect(),
@@ -191,7 +195,11 @@ mod tests {
             (0..10).map(|t| (t as f64, 0.5, t as i64)).collect(),
             (0..10)
                 .map(|t| {
-                    let y = if t <= 4 { 1.0 } else { 1.0 + (t - 4) as f64 * 20.0 };
+                    let y = if t <= 4 {
+                        1.0
+                    } else {
+                        1.0 + (t - 4) as f64 * 20.0
+                    };
                     (t as f64, y, t as i64)
                 })
                 .collect(),
@@ -211,13 +219,23 @@ mod tests {
         // interpolation must keep the convoy alive through the gap.
         let rows: Vec<Vec<(f64, f64, i64)>> = vec![
             (0..6).map(|t| (t as f64, 0.0, t as i64)).collect(),
-            vec![(0.0, 0.5, 0), (1.0, 0.5, 1), (3.0, 0.5, 3), (4.0, 0.5, 4), (5.0, 0.5, 5)],
+            vec![
+                (0.0, 0.5, 0),
+                (1.0, 0.5, 1),
+                (3.0, 0.5, 3),
+                (4.0, 0.5, 4),
+                (5.0, 0.5, 5),
+            ],
         ];
         let refs: Vec<&[(f64, f64, i64)]> = rows.iter().map(|r| r.as_slice()).collect();
         let db = db_from(&refs);
         let query = ConvoyQuery::new(2, 6, 1.0);
         let result = normalize_convoys(cmc(&db, &query), &query);
-        assert_eq!(result.len(), 1, "interpolation must bridge the missing sample");
+        assert_eq!(
+            result.len(),
+            1,
+            "interpolation must bridge the missing sample"
+        );
         assert_eq!(result[0].lifetime(), 6);
     }
 
@@ -225,10 +243,7 @@ mod tests {
     fn windowed_cmc_restricts_the_search() {
         let db = convoy_db();
         let query = ConvoyQuery::new(3, 3, 1.5);
-        let result = normalize_convoys(
-            cmc_windowed(&db, &query, TimeInterval::new(2, 6)),
-            &query,
-        );
+        let result = normalize_convoys(cmc_windowed(&db, &query, TimeInterval::new(2, 6)), &query);
         assert_eq!(result.len(), 1);
         assert_eq!(result[0].start, 2);
         assert_eq!(result[0].end, 6);
@@ -239,8 +254,8 @@ mod tests {
         let rows: Vec<Vec<(f64, f64, i64)>> = vec![
             (0..8).map(|t| (t as f64, 0.0, t as i64)).collect(),
             (0..8).map(|t| (t as f64, 0.5, t as i64)).collect(),
-            (0..8).map(|t| (t as f64 * -1.0, 50.0, t as i64)).collect(),
-            (0..8).map(|t| (t as f64 * -1.0, 50.5, t as i64)).collect(),
+            (0..8).map(|t| (-(t as f64), 50.0, t as i64)).collect(),
+            (0..8).map(|t| (-(t as f64), 50.5, t as i64)).collect(),
         ];
         let refs: Vec<&[(f64, f64, i64)]> = rows.iter().map(|r| r.as_slice()).collect();
         let db = db_from(&refs);
@@ -255,11 +270,7 @@ mod tests {
         // the group a fixed-size flock disc would lose, but density connection
         // keeps whole.
         let rows: Vec<Vec<(f64, f64, i64)>> = (0..5)
-            .map(|lane| {
-                (0..6)
-                    .map(|t| (t as f64, lane as f64, t as i64))
-                    .collect()
-            })
+            .map(|lane| (0..6).map(|t| (t as f64, lane as f64, t as i64)).collect())
             .collect();
         let refs: Vec<&[(f64, f64, i64)]> = rows.iter().map(|r| r.as_slice()).collect();
         let db = db_from(&refs);

@@ -190,9 +190,7 @@ mod tests {
             // Some candidate must contain all three convoy members over the
             // full window — the no-false-dismissal guarantee.
             let covered = output.candidates.iter().any(|c| {
-                (0..3u64).all(|i| c.objects.contains(ObjectId(i)))
-                    && c.start <= 0
-                    && c.end >= 29
+                (0..3u64).all(|i| c.objects.contains(ObjectId(i))) && c.start <= 0 && c.end >= 29
             });
             assert!(covered, "{variant} filter lost the true convoy");
             // The far-away object must not force itself into every candidate.

@@ -28,7 +28,12 @@ pub enum Method {
 
 impl Method {
     /// All methods in the order the paper's figures list them.
-    pub const ALL: [Method; 4] = [Method::Cmc, Method::Cuts, Method::CutsPlus, Method::CutsStar];
+    pub const ALL: [Method; 4] = [
+        Method::Cmc,
+        Method::Cuts,
+        Method::CutsPlus,
+        Method::CutsStar,
+    ];
 
     /// Display name matching the paper.
     pub fn name(&self) -> &'static str {

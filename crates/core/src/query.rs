@@ -104,19 +104,22 @@ impl std::fmt::Display for Convoy {
 /// candidate); normalisation makes result sets canonically comparable.
 pub fn normalize_convoys(convoys: Vec<Convoy>, query: &ConvoyQuery) -> Vec<Convoy> {
     let mut kept: Vec<Convoy> = Vec::with_capacity(convoys.len());
-    let mut satisfying: Vec<Convoy> = convoys
-        .into_iter()
-        .filter(|c| c.satisfies(query))
-        .collect();
+    let mut satisfying: Vec<Convoy> = convoys.into_iter().filter(|c| c.satisfies(query)).collect();
     // Sort by (interval length desc, member count desc) so dominating convoys
     // are considered before the fragments they dominate.
     satisfying.sort_by(|a, b| {
-        (b.lifetime(), b.objects.len(), a.start, a.objects.members().to_vec()).cmp(&(
-            a.lifetime(),
-            a.objects.len(),
-            b.start,
-            b.objects.members().to_vec(),
-        ))
+        (
+            b.lifetime(),
+            b.objects.len(),
+            a.start,
+            a.objects.members().to_vec(),
+        )
+            .cmp(&(
+                a.lifetime(),
+                a.objects.len(),
+                b.start,
+                b.objects.members().to_vec(),
+            ))
     });
     for convoy in satisfying {
         if kept
@@ -270,14 +273,8 @@ mod tests {
     #[test]
     fn normalization_output_is_deterministic() {
         let query = ConvoyQuery::new(2, 2, 1.0);
-        let a = normalize_convoys(
-            vec![convoy(&[1, 2], 0, 5), convoy(&[3, 4], 2, 9)],
-            &query,
-        );
-        let b = normalize_convoys(
-            vec![convoy(&[3, 4], 2, 9), convoy(&[1, 2], 0, 5)],
-            &query,
-        );
+        let a = normalize_convoys(vec![convoy(&[1, 2], 0, 5), convoy(&[3, 4], 2, 9)], &query);
+        let b = normalize_convoys(vec![convoy(&[3, 4], 2, 9), convoy(&[1, 2], 0, 5)], &query);
         assert_eq!(a, b);
     }
 

@@ -329,7 +329,10 @@ mod tests {
         for name in ProfileName::ALL {
             let profile = DatasetProfile::named(name).scaled(0.01);
             let data = generate(&profile, 5);
-            assert!(!data.database.is_empty(), "{name} generated an empty database");
+            assert!(
+                !data.database.is_empty(),
+                "{name} generated an empty database"
+            );
             assert!(data.database.total_points() > 0);
         }
     }
@@ -341,8 +344,16 @@ mod tests {
         let world = profile.movement.world_size;
         for (_, traj) in data.database.iter() {
             for p in traj.points() {
-                assert!(p.x >= -1e-6 && p.x <= world + 1e-6, "x={} out of world", p.x);
-                assert!(p.y >= -1e-6 && p.y <= world + 1e-6, "y={} out of world", p.y);
+                assert!(
+                    p.x >= -1e-6 && p.x <= world + 1e-6,
+                    "x={} out of world",
+                    p.x
+                );
+                assert!(
+                    p.y >= -1e-6 && p.y <= world + 1e-6,
+                    "y={} out of world",
+                    p.y
+                );
             }
         }
     }

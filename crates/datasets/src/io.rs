@@ -67,10 +67,7 @@ pub fn read_csv<R: Read>(reader: R) -> Result<TrajectoryDatabase> {
         let t: i64 = fields[1].parse().map_err(|_| parse_err("t"))?;
         let x: f64 = fields[2].parse().map_err(|_| parse_err("x"))?;
         let y: f64 = fields[3].parse().map_err(|_| parse_err("y"))?;
-        builders
-            .entry(ObjectId(id))
-            .or_insert_with(TrajectoryBuilder::new)
-            .add(x, y, t);
+        builders.entry(ObjectId(id)).or_default().add(x, y, t);
     }
 
     let mut db = TrajectoryDatabase::new();

@@ -33,7 +33,10 @@ pub fn add_gps_noise(db: &TrajectoryDatabase, magnitude: f64, seed: u64) -> Traj
                 )
             })
             .collect();
-        out.insert(id, Trajectory::from_points(points).expect("same shape as input"));
+        out.insert(
+            id,
+            Trajectory::from_points(points).expect("same shape as input"),
+        );
     }
     out
 }

@@ -301,7 +301,7 @@ mod tests {
         let small = truck.scaled(0.01);
         assert_eq!(small.e, truck.e);
         assert_eq!(small.movement, truck.movement);
-        assert!(small.num_objects >= truck.m + 1);
+        assert!(small.num_objects > truck.m);
         assert!(small.time_domain >= 50);
         assert!(small.k >= 5);
         assert!(small.num_objects < truck.num_objects);

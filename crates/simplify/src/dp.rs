@@ -168,6 +168,21 @@ mod tests {
         assert!(s.num_points() >= 2);
     }
 
+    #[test]
+    fn actual_tolerance_equals_max_removed_deviation() {
+        // One spike of height 2 over the chord (0,0)–(2,0). With δ=2.5 the
+        // spike is removed and the recorded actual tolerance (Definition 4)
+        // must be exactly its deviation, 2.0 — not the global δ.
+        let t = traj(&[(0.0, 0.0, 0), (1.0, 2.0, 1), (2.0, 0.0, 2)]);
+        let s = DouglasPeucker.simplify(&t, 2.5);
+        assert_eq!(s.num_points(), 2);
+        assert!((s.max_actual_tolerance() - 2.0).abs() < 1e-12);
+        // Just under the spike height, the point must survive instead.
+        let s_tight = DouglasPeucker.simplify(&t, 1.9);
+        assert_eq!(s_tight.num_points(), 3);
+        assert_eq!(s_tight.max_actual_tolerance(), 0.0);
+    }
+
     prop_compose! {
         fn arb_traj()(len in 2usize..60)
             (xs in proptest::collection::vec(-100.0f64..100.0, len),

@@ -96,13 +96,13 @@ mod tests {
         // closer to the middle, so DP+ splits at p4 (index 3) while DP splits
         // at the farthest point p6 (index 5).
         let t = traj(&[
-            (0.0, 0.0, 0),  // p1
-            (1.0, 0.2, 1),  // p2
-            (2.0, 0.1, 2),  // p3
-            (3.0, 1.5, 3),  // p4 — exceeds δ, closest to middle
-            (4.0, 0.0, 4),  // p5
-            (5.0, 2.5, 5),  // p6 — exceeds δ, farthest
-            (6.0, 0.0, 6),  // p7
+            (0.0, 0.0, 0), // p1
+            (1.0, 0.2, 1), // p2
+            (2.0, 0.1, 2), // p3
+            (3.0, 1.5, 3), // p4 — exceeds δ, closest to middle
+            (4.0, 0.0, 4), // p5
+            (5.0, 2.5, 5), // p6 — exceeds δ, farthest
+            (6.0, 0.0, 6), // p7
         ]);
         let delta = 1.0;
         let dp_plus_kept = DouglasPeuckerPlus.kept_indices(&t, delta);
@@ -126,6 +126,28 @@ mod tests {
     fn single_point_trajectory() {
         let t = traj(&[(1.0, 1.0, 0)]);
         assert_eq!(DouglasPeuckerPlus.simplify(&t, 1.0).num_points(), 1);
+    }
+
+    #[test]
+    fn single_offender_gives_same_split_as_dp() {
+        // Only index 2 exceeds δ=1 over the chord (0,0)–(4,0): DP+ and DP must
+        // both keep exactly {0, 2, 4}, and the remaining deviations (0.2) set
+        // the actual tolerance.
+        let t = traj(&[
+            (0.0, 0.0, 0),
+            (1.0, 0.2, 1),
+            (2.0, 3.0, 2),
+            (3.0, 0.2, 3),
+            (4.0, 0.0, 4),
+        ]);
+        assert_eq!(DouglasPeuckerPlus.kept_indices(&t, 1.0), vec![0, 2, 4]);
+        assert_eq!(
+            DouglasPeuckerPlus.kept_indices(&t, 1.0),
+            DouglasPeucker.kept_indices(&t, 1.0)
+        );
+        let s = DouglasPeuckerPlus.simplify(&t, 1.0);
+        assert!(s.max_actual_tolerance() <= 1.0);
+        assert!(s.max_actual_tolerance() > 0.0, "0.2-deviations remain");
     }
 
     prop_compose! {

@@ -125,7 +125,11 @@ mod tests {
         let dp = DouglasPeucker.simplify(&t, delta);
         let dp_star = DouglasPeuckerStar.simplify(&t, delta);
         assert_eq!(dp.num_points(), 2, "DP judges p2 redundant spatially");
-        assert_eq!(dp_star.num_points(), 3, "DP* must keep the temporal outlier");
+        assert_eq!(
+            dp_star.num_points(),
+            3,
+            "DP* must keep the temporal outlier"
+        );
     }
 
     #[test]
@@ -158,6 +162,21 @@ mod tests {
         // A sample early in time but far along the path deviates by its x offset.
         let q = TrajPoint::new(9.0, 0.0, 1);
         assert!((DouglasPeuckerStar::synchronised_deviation(&a, &b, &q) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tolerance_threshold_is_the_synchronised_deviation() {
+        // Collinear motion with a speed change: (0,0)→(4,0) in 2 ticks, then
+        // (4,0)→(10,0) in 2 ticks. The time-ratio position of the middle
+        // sample on the chord is (5, 0), so its synchronised deviation is
+        // exactly 1.0: δ just below keeps it, δ just above removes it, and
+        // the removed segment records 1.0 as its (synchronised) tolerance.
+        let t = traj(&[(0.0, 0.0, 0), (4.0, 0.0, 2), (10.0, 0.0, 4)]);
+        let kept = DouglasPeuckerStar.simplify(&t, 0.99);
+        assert_eq!(kept.num_points(), 3);
+        let dropped = DouglasPeuckerStar.simplify(&t, 1.01);
+        assert_eq!(dropped.num_points(), 2);
+        assert!((dropped.max_actual_tolerance() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use crate::simplified::SimplifiedTrajectory;
 use serde::{Deserialize, Serialize};
 use trajectory::geometry::Segment;
-use trajectory::{TrajectoryDatabase, Trajectory};
+use trajectory::{Trajectory, TrajectoryDatabase};
 
 /// The outcome of the δ-selection guideline for a single trajectory.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -261,9 +261,11 @@ mod tests {
     #[test]
     fn select_lambda_scales_with_reduction_and_density() {
         // Densely sampled, highly reducible trajectory → large λ.
-        let dense = traj(&(0..100)
-            .map(|i| (i as f64, 0.0, i as i64))
-            .collect::<Vec<_>>());
+        let dense = traj(
+            &(0..100)
+                .map(|i| (i as f64, 0.0, i as i64))
+                .collect::<Vec<_>>(),
+        );
         let dense_simplified = DouglasPeucker.simplify(&dense, 1.0);
         let lambda_dense = select_lambda([&dense_simplified], 200);
         assert!(
@@ -272,9 +274,11 @@ mod tests {
         );
 
         // Sparsely sampled trajectory (many missing time points) → small λ.
-        let sparse = traj(&(0..20)
-            .map(|i| (i as f64, 0.0, i as i64 * 10))
-            .collect::<Vec<_>>());
+        let sparse = traj(
+            &(0..20)
+                .map(|i| (i as f64, 0.0, i as i64 * 10))
+                .collect::<Vec<_>>(),
+        );
         let sparse_simplified = DouglasPeucker.simplify(&sparse, 1.0);
         let lambda_sparse = select_lambda([&sparse_simplified], 200);
         assert!(
@@ -286,11 +290,17 @@ mod tests {
 
     #[test]
     fn select_lambda_clamped_to_k_and_floor() {
-        let dense = traj(&(0..100)
-            .map(|i| (i as f64, 0.0, i as i64))
-            .collect::<Vec<_>>());
+        let dense = traj(
+            &(0..100)
+                .map(|i| (i as f64, 0.0, i as i64))
+                .collect::<Vec<_>>(),
+        );
         let s = DouglasPeucker.simplify(&dense, 1.0);
         assert_eq!(select_lambda([&s], 5), 5, "λ must not exceed k");
-        assert_eq!(select_lambda(std::iter::empty(), 100), 2, "empty input → floor");
+        assert_eq!(
+            select_lambda(std::iter::empty(), 100),
+            2,
+            "empty input → floor"
+        );
     }
 }

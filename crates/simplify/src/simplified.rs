@@ -96,7 +96,12 @@ impl SimplifiedTrajectory {
         kept: &[usize],
         global_tolerance: f64,
     ) -> SimplifiedTrajectory {
-        Self::from_kept_indices_with_metric(original, kept, global_tolerance, ToleranceMetric::Spatial)
+        Self::from_kept_indices_with_metric(
+            original,
+            kept,
+            global_tolerance,
+            ToleranceMetric::Spatial,
+        )
     }
 
     /// Assembles a simplified trajectory from the original trajectory and the
@@ -112,7 +117,10 @@ impl SimplifiedTrajectory {
         metric: ToleranceMetric,
     ) -> SimplifiedTrajectory {
         debug_assert!(!kept.is_empty(), "at least one sample must be kept");
-        debug_assert!(kept.windows(2).all(|w| w[0] < w[1]), "indices must be sorted");
+        debug_assert!(
+            kept.windows(2).all(|w| w[0] < w[1]),
+            "indices must be sorted"
+        );
         let samples = original.points();
         let points: Vec<TrajPoint> = kept.iter().map(|&i| samples[i]).collect();
         let mut segments = Vec::with_capacity(kept.len().saturating_sub(1));
@@ -128,9 +136,7 @@ impl SimplifiedTrajectory {
             for p in &samples[si..=ei] {
                 let d = match metric {
                     ToleranceMetric::Spatial => seg.distance_to_point(&p.position()),
-                    ToleranceMetric::Synchronised => {
-                        timed.location_at(p.t).distance(&p.position())
-                    }
+                    ToleranceMetric::Synchronised => timed.location_at(p.t).distance(&p.position()),
                 };
                 if d > actual {
                     actual = d;
@@ -235,8 +241,12 @@ impl SimplifiedTrajectory {
     /// that two binary searches locate in `O(log |segments|)` — important
     /// because the CuTS filter calls this once per object per time partition.
     pub fn segments_intersecting(&self, window: TimeInterval) -> &[SimplifiedSegment] {
-        let first = self.segments.partition_point(|s| s.interval().end < window.start);
-        let last = self.segments.partition_point(|s| s.interval().start <= window.end);
+        let first = self
+            .segments
+            .partition_point(|s| s.interval().end < window.start);
+        let last = self
+            .segments
+            .partition_point(|s| s.interval().start <= window.end);
         &self.segments[first..last]
     }
 

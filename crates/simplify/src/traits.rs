@@ -101,7 +101,11 @@ mod tests {
         let t = Trajectory::from_tuples([(0.0, 0.0, 0), (1.0, 0.0, 1), (2.0, 0.0, 2)]).unwrap();
         for m in SimplificationMethod::ALL {
             let s = m.simplify(&t, 10.0);
-            assert_eq!(s.num_points(), 2, "{m} should drop the collinear middle point");
+            assert_eq!(
+                s.num_points(),
+                2,
+                "{m} should drop the collinear middle point"
+            );
         }
     }
 }

@@ -298,7 +298,10 @@ mod tests {
             traj(&[(0.0, 1.0, 0), (1.0, 1.0, 1), (3.0, 1.0, 3), (4.0, 1.0, 4)]),
         );
         // o3: only appears from t=2
-        db.insert(ObjectId(3), traj(&[(2.0, 5.0, 2), (3.0, 5.0, 3), (4.0, 5.0, 4)]));
+        db.insert(
+            ObjectId(3),
+            traj(&[(2.0, 5.0, 2), (3.0, 5.0, 3), (4.0, 5.0, 4)]),
+        );
         db
     }
 
@@ -421,6 +424,59 @@ mod tests {
         let samples = db.all_samples();
         assert_eq!(samples.len(), 3);
         assert_eq!(samples[0].0, ObjectId(5));
+    }
+
+    #[test]
+    fn snapshot_entries_are_sorted_by_object_id() {
+        // `Snapshot::position_of` binary-searches on the id, so snapshot
+        // extraction must emit entries in ascending id order regardless of
+        // insertion order.
+        let mut db = TrajectoryDatabase::new();
+        for id in [40u64, 7, 23] {
+            db.insert(ObjectId(id), traj(&[(id as f64, 0.0, 0)]));
+        }
+        let snap = db.snapshot(0, SnapshotPolicy::Interpolate);
+        let ids: Vec<u64> = snap.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![7, 23, 40]);
+        for id in [7u64, 23, 40] {
+            assert_eq!(
+                snap.position_of(ObjectId(id)),
+                Some(Point::new(id as f64, 0.0))
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_includes_interval_boundaries_only() {
+        // o1 covers [0, 4]: both closed endpoints contribute a position, the
+        // ticks just outside do not.
+        let db = sample_db();
+        assert!(db
+            .snapshot(0, SnapshotPolicy::Interpolate)
+            .position_of(ObjectId(1))
+            .is_some());
+        assert!(db
+            .snapshot(4, SnapshotPolicy::Interpolate)
+            .position_of(ObjectId(1))
+            .is_some());
+        assert!(db.snapshot(5, SnapshotPolicy::Interpolate).is_empty());
+        assert!(db.snapshot(-1, SnapshotPolicy::Interpolate).is_empty());
+    }
+
+    #[test]
+    fn restricting_preserves_snapshots_inside_the_window() {
+        // Windowing the database must not change the `O_t` sets for times
+        // inside the window (the refinement step depends on this).
+        let db = sample_db();
+        let restricted = db.restrict(TimeInterval::new(3, 4));
+        assert_eq!(
+            restricted.snapshot(3, SnapshotPolicy::ExactOnly),
+            db.snapshot(3, SnapshotPolicy::ExactOnly)
+        );
+        assert_eq!(
+            restricted.snapshot(4, SnapshotPolicy::ExactOnly),
+            db.snapshot(4, SnapshotPolicy::ExactOnly)
+        );
     }
 
     #[test]

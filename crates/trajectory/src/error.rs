@@ -107,10 +107,7 @@ mod tests {
                 TrajectoryError::NonMonotonicTime { index: 3 },
                 "strictly increasing",
             ),
-            (
-                TrajectoryError::NonFiniteCoordinate { index: 1 },
-                "finite",
-            ),
+            (TrajectoryError::NonFiniteCoordinate { index: 1 }, "finite"),
             (
                 TrajectoryError::TimeOutOfRange {
                     requested: 9,
@@ -138,10 +135,7 @@ mod tests {
         ];
         for (err, needle) in cases {
             let text = err.to_string();
-            assert!(
-                text.contains(needle),
-                "`{text}` should mention `{needle}`"
-            );
+            assert!(text.contains(needle), "`{text}` should mention `{needle}`");
         }
     }
 

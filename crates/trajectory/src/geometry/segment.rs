@@ -300,7 +300,10 @@ mod tests {
     fn segment_segment_distance_skew() {
         let a = seg(0.0, 0.0, 1.0, 0.0);
         let b = seg(3.0, 4.0, 3.0, 10.0);
-        assert_eq!(a.distance_to_segment(&b), Point::new(1.0, 0.0).distance(&Point::new(3.0, 4.0)));
+        assert_eq!(
+            a.distance_to_segment(&b),
+            Point::new(1.0, 0.0).distance(&Point::new(3.0, 4.0))
+        );
     }
 
     #[test]
@@ -322,8 +325,14 @@ mod tests {
     #[test]
     fn closest_point_clamps_to_endpoints() {
         let s = seg(0.0, 0.0, 10.0, 0.0);
-        assert_eq!(s.closest_point(&Point::new(-5.0, 2.0)), Point::new(0.0, 0.0));
-        assert_eq!(s.closest_point(&Point::new(50.0, 2.0)), Point::new(10.0, 0.0));
+        assert_eq!(
+            s.closest_point(&Point::new(-5.0, 2.0)),
+            Point::new(0.0, 0.0)
+        );
+        assert_eq!(
+            s.closest_point(&Point::new(50.0, 2.0)),
+            Point::new(10.0, 0.0)
+        );
     }
 
     #[test]
@@ -403,7 +412,10 @@ mod tests {
         let a = tseg(0.0, 0.0, 10.0, 0.0, 0, 10);
         let b = tseg(0.0, 5.0, 0.0, 0.0, 8, 13);
         let t = a.cpa_time(&b).unwrap();
-        assert!((8.0..=10.0).contains(&t), "CPA time {t} outside common interval");
+        assert!(
+            (8.0..=10.0).contains(&t),
+            "CPA time {t} outside common interval"
+        );
     }
 
     proptest! {

@@ -62,9 +62,10 @@ fn main() {
         .ground_truth
         .iter()
         .filter(|planted| {
-            outcome.convoys.iter().any(|c| {
-                planted.members.iter().all(|m| c.objects.contains(*m))
-            })
+            outcome
+                .convoys
+                .iter()
+                .any(|c| planted.members.iter().all(|m| c.objects.contains(*m)))
         })
         .count();
     println!(

@@ -18,7 +18,10 @@ fn main() {
     let (path, query) = match arg_path {
         Some(path) => {
             // A user-supplied file: use generic query parameters.
-            (std::path::PathBuf::from(path), ConvoyQuery::new(3, 60, 50.0))
+            (
+                std::path::PathBuf::from(path),
+                ConvoyQuery::new(3, 60, 50.0),
+            )
         }
         None => {
             // No file given: generate a Taxi-profile dataset and export it.
@@ -34,10 +37,7 @@ fn main() {
                 data.database.total_points(),
                 path.display()
             );
-            (
-                path,
-                ConvoyQuery::new(profile.m, profile.k, profile.e),
-            )
+            (path, ConvoyQuery::new(profile.m, profile.k, profile.e))
         }
     };
 

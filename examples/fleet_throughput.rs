@@ -33,12 +33,21 @@ fn main() {
     );
 
     let mut reference: Option<DiscoveryOutcome> = None;
-    for method in [Method::Cmc, Method::Cuts, Method::CutsPlus, Method::CutsStar] {
+    for method in [
+        Method::Cmc,
+        Method::Cuts,
+        Method::CutsPlus,
+        Method::CutsStar,
+    ] {
         let outcome = Discovery::new(method).run(&data.database, &query);
         let elapsed = outcome.timings.total().as_secs_f64();
         match &reference {
             None => {
-                println!("{:7} {elapsed:8.3} s  ({} convoys)", method.name(), outcome.convoys.len());
+                println!(
+                    "{:7} {elapsed:8.3} s  ({} convoys)",
+                    method.name(),
+                    outcome.convoys.len()
+                );
                 reference = Some(outcome);
             }
             Some(cmc) => {

@@ -50,7 +50,10 @@ fn main() {
     }
 
     // --- Full discovery with the stage breakdown (Figure 13 in miniature) -----
-    println!("\ndiscovery (m = {}, k = {}, e = {}):", query.m, query.k, query.e);
+    println!(
+        "\ndiscovery (m = {}, k = {}, e = {}):",
+        query.m, query.k, query.e
+    );
     for method in [Method::Cuts, Method::CutsPlus, Method::CutsStar] {
         let outcome = Discovery::new(method).run(&data.database, &query);
         let t = outcome.timings;

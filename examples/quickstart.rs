@@ -36,7 +36,12 @@ fn main() {
     let query = ConvoyQuery::new(3, 10, 5.0);
 
     // --- 3. Run every algorithm ----------------------------------------------
-    for method in [Method::Cmc, Method::Cuts, Method::CutsPlus, Method::CutsStar] {
+    for method in [
+        Method::Cmc,
+        Method::Cuts,
+        Method::CutsPlus,
+        Method::CutsStar,
+    ] {
         let outcome = Discovery::new(method).run(&db, &query);
         println!(
             "{:7} found {} convoy(s) in {:.3} ms",

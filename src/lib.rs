@@ -53,7 +53,6 @@ pub mod prelude {
         ToleranceMode,
     };
     pub use trajectory::{
-        ObjectId, Point, TimeInterval, TrajPoint, Trajectory, TrajectoryBuilder,
-        TrajectoryDatabase,
+        ObjectId, Point, TimeInterval, TrajPoint, Trajectory, TrajectoryBuilder, TrajectoryDatabase,
     };
 }

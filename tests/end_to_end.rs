@@ -9,7 +9,10 @@ use convoy_suite::prelude::*;
 
 /// Generates a dataset for a profile scaled down to test size, together with
 /// its Table 3 query.
-fn scenario(profile: DatasetProfile, seed: u64) -> (convoy_suite::datasets::GeneratedDataset, ConvoyQuery) {
+fn scenario(
+    profile: DatasetProfile,
+    seed: u64,
+) -> (convoy_suite::datasets::GeneratedDataset, ConvoyQuery) {
     let data = generate(&profile, seed);
     let query = ConvoyQuery::new(profile.m, profile.k, profile.e);
     (data, query)
@@ -22,7 +25,12 @@ fn planted_convoys_are_rediscovered_by_every_method() {
         !data.ground_truth.is_empty(),
         "the scaled profile must still plant convoys"
     );
-    for method in [Method::Cmc, Method::Cuts, Method::CutsPlus, Method::CutsStar] {
+    for method in [
+        Method::Cmc,
+        Method::Cuts,
+        Method::CutsPlus,
+        Method::CutsStar,
+    ] {
         let outcome = Discovery::new(method).run(&data.database, &query);
         for planted in &data.ground_truth {
             // The planted groups live longer than k and have at least m
@@ -82,7 +90,9 @@ fn cuts_agrees_with_cmc_under_explicit_parameter_overrides() {
             let config = CutsConfig::new(method.cuts_variant().unwrap())
                 .with_delta(query.e * delta_factor)
                 .with_lambda(lambda);
-            let outcome = Discovery::new(method).with_config(config).run(&data.database, &query);
+            let outcome = Discovery::new(method)
+                .with_config(config)
+                .run(&data.database, &query);
             assert!(
                 result_sets_equivalent(&outcome.convoys, &reference.convoys),
                 "{} with δ-factor {delta_factor} and λ {lambda} diverged from CMC",
@@ -114,7 +124,12 @@ fn results_are_deterministic_across_runs() {
     for method in [Method::Cmc, Method::CutsStar] {
         let a = Discovery::new(method).run(&data.database, &query);
         let b = Discovery::new(method).run(&data.database, &query);
-        assert_eq!(a.convoys, b.convoys, "{} is not deterministic", method.name());
+        assert_eq!(
+            a.convoys,
+            b.convoys,
+            "{} is not deterministic",
+            method.name()
+        );
     }
 }
 

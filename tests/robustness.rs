@@ -17,10 +17,12 @@ fn planted_convoys_survive_moderate_gps_noise() {
     let outcome = Discovery::new(Method::CutsStar).run(&noisy, &query);
     for planted in &data.ground_truth {
         let found = outcome.convoys.iter().any(|c| {
-            planted.members.iter().all(|m| c.objects.contains(*m))
-                && c.lifetime() >= query.k as i64
+            planted.members.iter().all(|m| c.objects.contains(*m)) && c.lifetime() >= query.k as i64
         });
-        assert!(found, "noise of {noise:.2} broke the planted convoy {planted:?}");
+        assert!(
+            found,
+            "noise of {noise:.2} broke the planted convoy {planted:?}"
+        );
     }
 }
 
@@ -65,23 +67,37 @@ fn degenerate_queries_do_not_panic() {
 
     // k longer than the domain: no convoy can exist.
     let too_long = ConvoyQuery::new(2, (domain_len + 10) as usize, profile.e);
-    for method in [Method::Cmc, Method::Cuts, Method::CutsPlus, Method::CutsStar] {
+    for method in [
+        Method::Cmc,
+        Method::Cuts,
+        Method::CutsPlus,
+        Method::CutsStar,
+    ] {
         assert!(Discovery::new(method).run(db, &too_long).convoys.is_empty());
     }
 
     // m larger than the object count: no convoy can exist.
     let too_big = ConvoyQuery::new(db.len() + 1, 2, profile.e);
-    assert!(Discovery::new(Method::CutsStar).run(db, &too_big).convoys.is_empty());
+    assert!(Discovery::new(Method::CutsStar)
+        .run(db, &too_big)
+        .convoys
+        .is_empty());
 
     // A tiny e so nothing is density-connected.
     let too_tight = ConvoyQuery::new(2, 2, 1e-9);
-    assert!(Discovery::new(Method::Cmc).run(db, &too_tight).convoys.is_empty());
+    assert!(Discovery::new(Method::Cmc)
+        .run(db, &too_tight)
+        .convoys
+        .is_empty());
 
     // An empty database.
     let empty = TrajectoryDatabase::new();
     let query = ConvoyQuery::new(2, 2, 1.0);
     for method in [Method::Cmc, Method::CutsStar] {
-        assert!(Discovery::new(method).run(&empty, &query).convoys.is_empty());
+        assert!(Discovery::new(method)
+            .run(&empty, &query)
+            .convoys
+            .is_empty());
     }
 
     // A database of single-sample trajectories (k = 1, m = 2): every pair of

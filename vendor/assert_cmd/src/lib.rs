@@ -1,0 +1,168 @@
+//! Offline stand-in for `assert_cmd` (see `vendor/README.md`).
+//!
+//! Supports the `Command::cargo_bin("name")?.args(..).assert()` pattern with
+//! exit-code assertions plus substring assertions on captured stdout/stderr.
+//! Binaries are located the same way assert_cmd locates them: next to the
+//! test executable's target directory.
+
+use std::ffi::OsStr;
+use std::path::PathBuf;
+use std::process::Output;
+
+/// Error returned when a requested cargo binary cannot be located.
+#[derive(Debug)]
+pub struct CargoError(String);
+
+impl std::fmt::Display for CargoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CargoError {}
+
+/// A `std::process::Command` wrapper with an `assert()` terminal.
+pub struct Command {
+    inner: std::process::Command,
+}
+
+impl Command {
+    /// Locates the binary target `name` of the current package, as built by
+    /// the enclosing `cargo test` invocation.
+    pub fn cargo_bin(name: impl AsRef<str>) -> Result<Self, CargoError> {
+        let name = name.as_ref();
+        // Tests run from <target>/<profile>/deps/<test-bin>; package binaries
+        // live one directory up.
+        let exe = std::env::current_exe()
+            .map_err(|e| CargoError(format!("cannot locate test executable: {e}")))?;
+        let profile_dir = exe
+            .parent() // deps/
+            .and_then(|p| p.parent()) // <profile>/
+            .map(PathBuf::from)
+            .ok_or_else(|| CargoError("test executable has no target dir".into()))?;
+        let mut candidate = profile_dir.join(name);
+        candidate.set_extension(std::env::consts::EXE_EXTENSION);
+        if !candidate.exists() {
+            return Err(CargoError(format!(
+                "no binary `{name}` at {}",
+                candidate.display()
+            )));
+        }
+        Ok(Command {
+            inner: std::process::Command::new(candidate),
+        })
+    }
+
+    /// Appends one argument.
+    pub fn arg(mut self, arg: impl AsRef<OsStr>) -> Self {
+        self.inner.arg(arg);
+        self
+    }
+
+    /// Appends several arguments.
+    pub fn args<I, S>(mut self, args: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<OsStr>,
+    {
+        self.inner.args(args);
+        self
+    }
+
+    /// Runs the command, captures its output, and returns the assertion
+    /// handle. Panics if the process cannot be spawned at all.
+    pub fn assert(mut self) -> Assert {
+        let output = self
+            .inner
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn {:?}: {e}", self.inner));
+        Assert { output }
+    }
+}
+
+/// Assertions over a finished process, mirroring `assert_cmd::assert::Assert`.
+pub struct Assert {
+    output: Output,
+}
+
+impl Assert {
+    fn describe(&self) -> String {
+        format!(
+            "status: {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            self.output.status.code(),
+            String::from_utf8_lossy(&self.output.stdout),
+            String::from_utf8_lossy(&self.output.stderr),
+        )
+    }
+
+    /// Asserts the process exited with status 0.
+    #[track_caller]
+    pub fn success(self) -> Self {
+        assert!(
+            self.output.status.success(),
+            "expected success\n{}",
+            self.describe()
+        );
+        self
+    }
+
+    /// Asserts the process exited with a non-zero status.
+    #[track_caller]
+    pub fn failure(self) -> Self {
+        assert!(
+            !self.output.status.success(),
+            "expected failure\n{}",
+            self.describe()
+        );
+        self
+    }
+
+    /// Asserts the exact exit code.
+    #[track_caller]
+    pub fn code(self, expected: i32) -> Self {
+        assert_eq!(
+            self.output.status.code(),
+            Some(expected),
+            "expected exit code {expected}\n{}",
+            self.describe()
+        );
+        self
+    }
+
+    /// Asserts that captured stdout contains `needle`.
+    #[track_caller]
+    pub fn stdout_contains(self, needle: impl AsRef<str>) -> Self {
+        let stdout = String::from_utf8_lossy(&self.output.stdout).into_owned();
+        assert!(
+            stdout.contains(needle.as_ref()),
+            "stdout missing {:?}\n{}",
+            needle.as_ref(),
+            self.describe()
+        );
+        self
+    }
+
+    /// Asserts that captured stderr contains `needle`.
+    #[track_caller]
+    pub fn stderr_contains(self, needle: impl AsRef<str>) -> Self {
+        let stderr = String::from_utf8_lossy(&self.output.stderr).into_owned();
+        assert!(
+            stderr.contains(needle.as_ref()),
+            "stderr missing {:?}\n{}",
+            needle.as_ref(),
+            self.describe()
+        );
+        self
+    }
+
+    /// Asserts that captured stdout is empty.
+    #[track_caller]
+    pub fn stdout_is_empty(self) -> Self {
+        assert!(
+            self.output.stdout.is_empty(),
+            "expected empty stdout\n{}",
+            self.describe()
+        );
+        self
+    }
+}

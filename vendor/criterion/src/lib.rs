@@ -1,0 +1,191 @@
+//! Offline stand-in for the `criterion` benchmark framework (see
+//! `vendor/README.md`).
+//!
+//! Keeps the call-site API of criterion 0.5 that this workspace's benches
+//! use — `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, warm_up_time, measurement_time,
+//! bench_function, bench_with_input, finish}`, `BenchmarkId`, and
+//! `Bencher::iter` — and performs a simple mean-of-N timing, printing one
+//! `name ... <mean> ns/iter` line per benchmark.
+//!
+//! Like the real criterion, the generated `main` only runs benchmarks when
+//! the `--bench` flag is present (which `cargo bench` passes). Under
+//! `cargo test` the binary exits immediately, so benches are compile- and
+//! link-checked without burning test time.
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to each `criterion_group!` target function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Times a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in always warms up once.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in times a fixed sample count.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Times one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Times one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op beyond dropping it, as in criterion).
+    pub fn finish(self) {}
+}
+
+/// A `function/parameter` benchmark identifier.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter part.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter (the function part comes from the group).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Passed to the benchmark closure; `iter` does the actual timing.
+pub struct Bencher {
+    samples: usize,
+    /// Mean wall-clock time of one iteration, filled in by [`Bencher::iter`].
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, running one warm-up call plus `samples` timed calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        self.mean = Some(start.elapsed() / self.samples as u32);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
+    let mut bencher = Bencher {
+        samples,
+        mean: None,
+    };
+    f(&mut bencher);
+    match bencher.mean {
+        Some(mean) => println!("bench {name:<60} {:>12} ns/iter", mean.as_nanos()),
+        None => println!("bench {name:<60} (no iter() call)"),
+    }
+}
+
+/// True when the binary was invoked by `cargo bench` (criterion's contract:
+/// benchmarks only run under `--bench`).
+pub fn should_run_benches() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// Mirrors `criterion::black_box` for callers that want it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into one group runner, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main`, running the groups only under `cargo bench`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if !$crate::should_run_benches() {
+                // Invoked by `cargo test`: benches are compile/link-checked,
+                // not run. `cargo bench` passes --bench and runs them.
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,393 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Keeps the call-site syntax this workspace's property tests use —
+//! `proptest! { #![proptest_config(..)] #[test] fn name(x in strategy, ..) }`,
+//! `prop_compose!` with dependent strategy groups, `prop_assert!`,
+//! `prop_assert_eq!`, `collection::{vec, btree_set}`, ranges as strategies —
+//! but replaces proptest's shrinking test runner with a plain seeded random
+//! sweep: each property runs for `cases` deterministic samples (seeded from
+//! the test's module path and name) and panics on the first failure. No
+//! shrinking is performed; the panic message reports the failing values'
+//! case index so a failure is reproducible.
+
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies (re-exported for the generated code).
+pub type TestRng = StdRng;
+
+/// Runner configuration; only `cases` is honoured by the stand-in.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases (mirrors proptest's constructor).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Generates one value per sample; the stand-in for `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value. (The real trait produces a shrinkable value tree;
+    /// the stand-in draws a plain value.)
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategies!(f64, usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// Support types for the generated code.
+pub mod strategy {
+    use super::{Strategy, TestRng};
+
+    /// Wraps a sampling closure as a [`Strategy`]; produced by `prop_compose!`.
+    pub struct FnStrategy<F>(pub F);
+
+    impl<F, T> Strategy for FnStrategy<F>
+    where
+        F: Fn(&mut TestRng) -> T,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+}
+
+/// A collection size specification: a fixed size or a half-open range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        assert!(self.lo < self.hi, "empty collection size range");
+        rng.gen_range(self.lo..self.hi)
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{BTreeSet, SizeRange, Strategy, TestRng};
+
+    /// Strategy for `Vec`s of values from `element` with a size in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeSet`s of *distinct* values from `element` with a
+    /// size in `size`.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut out = BTreeSet::new();
+            // Cap the draws so a too-narrow element domain fails loudly
+            // instead of hanging.
+            let max_attempts = target.saturating_mul(1000).max(1000);
+            for _ in 0..max_attempts {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.sample(rng));
+            }
+            assert!(
+                out.len() >= target,
+                "btree_set strategy could not draw {target} distinct values"
+            );
+            out
+        }
+    }
+}
+
+/// Error/result types of the runner (`proptest::test_runner`).
+pub mod test_runner {
+    /// A failed property case. The stand-in's assertion macros panic instead
+    /// of returning this, but helpers written against the real API still
+    /// type-check (`Result<(), TestCaseError>` + `?`).
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Result alias mirroring `proptest::test_runner::TestCaseResult`.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+/// One-line import of everything the tests use.
+pub mod prelude {
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, proptest, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Deterministic per-test seed from the test's fully qualified name.
+pub fn fnv1a_seed(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+/// Creates the seeded RNG the generated test loop uses (kept here so using
+/// crates do not need their own `rand` dependency).
+pub fn new_rng(seed: u64) -> TestRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Asserts a condition inside a property (panics on failure, like a failing
+/// case without shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Defines property tests: each `fn name(x in strategy, ..) { body }` becomes
+/// a `#[test]` running `cases` seeded samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($config:expr)
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+
+    ) => {
+        $(
+            $(#[$meta])*
+            #[allow(clippy::redundant_closure_call)]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let seed = $crate::fnv1a_seed(concat!(module_path!(), "::", stringify!($name)));
+                let mut rng: $crate::TestRng = $crate::new_rng(seed);
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    // Both failure routes — a panicking `prop_assert!` and a
+                    // helper returning `Err(TestCaseError)` via `?` — funnel
+                    // through here so the failing case index and seed are
+                    // always reported (there is no shrinking to point at the
+                    // culprit otherwise).
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| {
+                            let result: ::std::result::Result<
+                                (),
+                                $crate::test_runner::TestCaseError,
+                            > = (|| {
+                                $body
+                                ::std::result::Result::Ok(())
+                            })();
+                            if let ::std::result::Result::Err(e) = result {
+                                panic!("{e}");
+                            }
+                        }),
+                    );
+                    if let ::std::result::Result::Err(payload) = outcome {
+                        eprintln!(
+                            "property {} failed at case {case} of {} (seed {seed:#x})",
+                            stringify!($name),
+                            config.cases,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Composes strategies into a named strategy function, supporting the
+/// dependent two-group form `fn f(args)(a in s1)(b in s2(a)) -> T { .. }`.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($param:ident: $pty:ty),* $(,)?)
+        ($($a1:ident in $s1:expr),+ $(,)?)
+        $(($($a2:ident in $s2:expr),+ $(,)?))?
+        -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($param: $pty),*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::strategy::FnStrategy(move |rng: &mut $crate::TestRng| {
+                $(let $a1 = $crate::Strategy::sample(&($s1), rng);)+
+                $($(let $a2 = $crate::Strategy::sample(&($s2), rng);)+)?
+                $body
+            })
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn arb_sorted_pair(offset: i64)(a in 0i64..100)(b in a..200) -> (i64, i64) {
+            (a + offset, b + offset)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_collections_sample_within_bounds(
+            x in -5.0f64..5.0,
+            n in 1usize..4,
+            v in crate::collection::vec(0u8..10, 2..6),
+            s in crate::collection::btree_set(0i64..50, 3..6)) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..4).contains(&n));
+            prop_assert!(v.len() >= 2 && v.len() < 6 && v.iter().all(|b| *b < 10));
+            prop_assert!(s.len() >= 3 && s.len() < 6);
+        }
+
+        #[test]
+        fn composed_strategies_respect_their_dependency(pair in arb_sorted_pair(7)) {
+            let (a, b) = pair;
+            prop_assert!(a <= b, "second draw starts at the first: {a} <= {b}");
+            prop_assert!(a >= 7);
+        }
+
+        #[test]
+        fn question_mark_propagates_test_case_errors(x in 0i64..10) {
+            fn helper(x: i64) -> crate::test_runner::TestCaseResult {
+                prop_assert!(x < 10);
+                Ok(())
+            }
+            helper(x)?;
+        }
+
+        #[test]
+        #[should_panic]
+        fn failing_property_panics_with_case_context(x in 0i64..10) {
+            prop_assert!(x > 100, "never holds, x = {x}");
+        }
+    }
+}

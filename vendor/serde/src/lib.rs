@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! Provides the two marker traits and, behind the `derive` feature, the
+//! no-op derive macros. This is enough for `use serde::{Deserialize,
+//! Serialize};` + `#[derive(Serialize, Deserialize)]` to compile; nothing in
+//! this workspace performs actual serialization.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

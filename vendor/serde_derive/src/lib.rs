@@ -1,0 +1,19 @@
+//! No-op stand-ins for serde's derive macros (see `vendor/README.md`).
+//!
+//! The workspace only ever derives `Serialize`/`Deserialize` on plain data
+//! types and never uses `#[serde(...)]` attributes or actual serialization,
+//! so expanding to nothing is sufficient for the code to compile unchanged.
+
+use proc_macro::TokenStream;
+
+/// Derives nothing; accepts the same position as `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives nothing; accepts the same position as `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
