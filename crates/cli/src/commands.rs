@@ -4,7 +4,8 @@
 
 use crate::args::{ArgError, ParsedArgs};
 use convoy_core::{
-    compare_result_sets, mc2, ConvoyQuery, CutsConfig, CutsVariant, Discovery, Mc2Config, Method,
+    compare_result_sets, mc2, CmcEngine, ConvoyQuery, CutsConfig, CutsVariant, Discovery,
+    Mc2Config, Method,
 };
 use traj_datasets::io::{read_csv_file, write_csv_file};
 use traj_datasets::{generate, DatasetProfile, ProfileName};
@@ -55,6 +56,9 @@ COMMANDS:
               Print Table-3-style statistics of a trajectory CSV.
     discover  FILE [--method cmc|cuts|cuts-plus|cuts-star] --m N --k N --e F
               [--delta F] [--lambda N] [--global-tolerance]
+              [--stream | --parallel [N]]   (CMC engine: streamed sweep is
+              the default; --parallel N partitions time across N worker
+              threads, N omitted or 0 uses every core)
               Run a convoy query and print the discovered convoys.
     simplify  FILE --delta F [--method dp|dp-plus|dp-star]
               Report the vertex reduction of trajectory simplification.
@@ -105,6 +109,44 @@ fn load_database(args: &ParsedArgs) -> Result<(String, TrajectoryDatabase), Comm
         .ok_or_else(|| CommandError("missing input CSV path".into()))?;
     let db = read_csv_file(path)?;
     Ok((path.clone(), db))
+}
+
+/// Resolves the CMC engine from the `--stream` / `--parallel N` flags.
+/// Both flags only make sense for the CMC method (the CuTS refinement runs
+/// windowed CMC per candidate, a different parallelism axis), so combining
+/// them with a CuTS method is reported rather than silently ignored.
+fn engine_from_args(args: &ParsedArgs, method: Method) -> Result<CmcEngine, CommandError> {
+    if let Some(value) = args.get("stream") {
+        return Err(CommandError(format!(
+            "--stream takes no value (found `{value}`; place the input path before the flags)"
+        )));
+    }
+    let stream = args.has_flag("stream");
+    let parallel_value = args.get("parallel");
+    // A bare `--parallel` (no count, e.g. followed by another flag or at the
+    // end of the line) parses as a boolean flag; it means "every core"
+    // rather than being silently ignored.
+    let parallel = parallel_value.is_some() || args.flags.iter().any(|f| f == "parallel");
+    if stream && parallel {
+        return Err(CommandError(
+            "--stream and --parallel are mutually exclusive".into(),
+        ));
+    }
+    if (stream || parallel) && method != Method::Cmc {
+        return Err(CommandError(
+            "--stream/--parallel select a CMC engine; use them with --method cmc".into(),
+        ));
+    }
+    if !parallel {
+        return Ok(CmcEngine::Swept);
+    }
+    let threads: usize = match parallel_value {
+        Some(value) => value
+            .parse()
+            .map_err(|_| CommandError(format!("cannot parse --parallel value `{value}`")))?,
+        None => 0,
+    };
+    Ok(CmcEngine::Parallel { threads })
 }
 
 fn query_from_args(args: &ParsedArgs) -> Result<ConvoyQuery, CommandError> {
@@ -171,10 +213,13 @@ pub fn discover_command(args: &ParsedArgs) -> Result<String, CommandError> {
         "lambda",
         "global-tolerance",
         "limit",
+        "stream",
+        "parallel",
     ])?;
     let (path, db) = load_database(args)?;
     let query = query_from_args(args)?;
     let method = parse_method(args.get("method").unwrap_or("cuts-star"))?;
+    let engine = engine_from_args(args, method)?;
 
     let mut config = CutsConfig::new(method.cuts_variant().unwrap_or(CutsVariant::CutsStar));
     if let Some(delta) = args.get("delta") {
@@ -195,7 +240,10 @@ pub fn discover_command(args: &ParsedArgs) -> Result<String, CommandError> {
         config = config.with_tolerance_mode(ToleranceMode::Global);
     }
 
-    let outcome = Discovery::new(method).with_config(config).run(&db, &query);
+    let outcome = Discovery::new(method)
+        .with_config(config)
+        .with_cmc_engine(engine)
+        .run(&db, &query);
     let limit: usize = args.get_parsed_or("limit", 50)?;
 
     let mut out = format!(
@@ -207,6 +255,15 @@ pub fn discover_command(args: &ParsedArgs) -> Result<String, CommandError> {
         query.k,
         query.e
     );
+    if method == Method::Cmc {
+        let threads = engine.resolved_threads();
+        out.push_str(&format!(
+            "engine: {} ({} thread{})\n",
+            engine.name(),
+            threads,
+            if threads == 1 { "" } else { "s" }
+        ));
+    }
     if method != Method::Cmc {
         out.push_str(&format!(
             "filter: {} candidates, δ={:.2}, λ={}, vertex reduction {:.1}%\n",
@@ -401,6 +458,115 @@ mod tests {
         let args =
             ParsedArgs::parse(["/no/such/file.csv", "--m", "3", "--k", "1", "--e", "5"]).unwrap();
         assert!(discover_command(&args).is_err());
+    }
+
+    #[test]
+    fn discover_engine_flags_select_cmc_engines_and_agree() {
+        let path = generate_fixture("engines.csv");
+        let profile = DatasetProfile::truck().scaled(0.02);
+        let base = [
+            path.as_str(),
+            "--method",
+            "cmc",
+            "--m",
+            &profile.m.to_string(),
+            "--k",
+            &profile.k.to_string(),
+            "--e",
+            &profile.e.to_string(),
+        ];
+
+        let strip_timing = |report: String| -> Vec<String> {
+            report
+                .lines()
+                .filter(|l| l.starts_with("  ") || l.contains("convoy(s) found"))
+                .map(|l| {
+                    // Drop the wall-clock portion, which varies run to run.
+                    match l.split_once(" in ") {
+                        Some((head, _)) => head.to_string(),
+                        None => l.to_string(),
+                    }
+                })
+                .collect()
+        };
+
+        let mut args: Vec<&str> = base.to_vec();
+        args.push("--stream");
+        let streamed = discover_command(&ParsedArgs::parse(args).unwrap()).unwrap();
+        assert!(streamed.contains("engine: swept (1 thread)"));
+
+        let mut args: Vec<&str> = base.to_vec();
+        args.extend(["--parallel", "3"]);
+        let parallel = discover_command(&ParsedArgs::parse(args).unwrap()).unwrap();
+        assert!(parallel.contains("engine: parallel (3 threads)"));
+
+        let sequential = discover_command(&ParsedArgs::parse(base).unwrap()).unwrap();
+        assert_eq!(strip_timing(streamed), strip_timing(sequential.clone()));
+        assert_eq!(strip_timing(parallel), strip_timing(sequential));
+    }
+
+    #[test]
+    fn discover_engine_flags_are_validated() {
+        let path = generate_fixture("engines-bad.csv");
+        let base = [path.as_str(), "--m", "3", "--k", "5", "--e", "10.0"];
+        // --parallel with a CuTS method is rejected, not ignored.
+        let mut args: Vec<&str> = base.to_vec();
+        args.extend(["--method", "cuts-star", "--parallel", "2"]);
+        let err = discover_command(&ParsedArgs::parse(args).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("--method cmc"), "{err}");
+        // --stream with a CuTS method (the default) is rejected too.
+        let mut args: Vec<&str> = base.to_vec();
+        args.push("--stream");
+        assert!(discover_command(&ParsedArgs::parse(args).unwrap()).is_err());
+        // --stream and --parallel are mutually exclusive.
+        let mut args: Vec<&str> = base.to_vec();
+        args.extend(["--method", "cmc", "--parallel", "2", "--stream"]);
+        let err = discover_command(&ParsedArgs::parse(args).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
+        // A non-numeric thread count is a parse error.
+        let mut args: Vec<&str> = base.to_vec();
+        args.extend(["--method", "cmc", "--parallel", "many"]);
+        assert!(discover_command(&ParsedArgs::parse(args).unwrap()).is_err());
+    }
+
+    #[test]
+    fn bare_parallel_flag_means_every_core_not_silently_sequential() {
+        let path = generate_fixture("engines-bare.csv");
+        // `--parallel` at the end of the line parses as a boolean flag; it
+        // must select the parallel engine (all cores), not fall back to the
+        // sequential sweep.
+        let args = ParsedArgs::parse([
+            path.as_str(),
+            "--method",
+            "cmc",
+            "--m",
+            "3",
+            "--k",
+            "5",
+            "--e",
+            "10.0",
+            "--parallel",
+        ])
+        .unwrap();
+        let report = discover_command(&args).unwrap();
+        assert!(report.contains("engine: parallel"), "{report}");
+        // And the bare form still participates in mutual exclusion.
+        let args = ParsedArgs::parse([
+            path.as_str(),
+            "--method",
+            "cmc",
+            "--m",
+            "3",
+            "--k",
+            "5",
+            "--e",
+            "10.0",
+            "--stream",
+            "--parallel",
+        ])
+        .unwrap();
+        let err = discover_command(&args).unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
     }
 
     #[test]

@@ -142,6 +142,49 @@ fn compare_rejects_theta_outside_unit_interval() {
 }
 
 #[test]
+fn discover_cmc_engine_flags() {
+    let path = temp_path("engine-flags.csv");
+    convoy()
+        .args(["generate", "--profile", "truck", "--scale", "0.02"])
+        .args(["--seed", "11", "--out", path.to_str().unwrap()])
+        .assert()
+        .success();
+    let query = ["--method", "cmc", "--m", "3", "--k", "5", "--e", "10"];
+    convoy()
+        .args(["discover", path.to_str().unwrap()])
+        .args(query)
+        .arg("--stream")
+        .assert()
+        .success()
+        .stdout_contains("found by CMC")
+        .stdout_contains("engine: swept");
+    convoy()
+        .args(["discover", path.to_str().unwrap()])
+        .args(query)
+        .args(["--parallel", "2"])
+        .assert()
+        .success()
+        .stdout_contains("engine: parallel (2 threads)");
+    // Engine flags are CMC-only and mutually exclusive.
+    convoy()
+        .args(["discover", path.to_str().unwrap()])
+        .args(["--method", "cuts-star", "--m", "3", "--k", "5", "--e", "10"])
+        .args(["--parallel", "2"])
+        .assert()
+        .failure()
+        .code(1)
+        .stderr_contains("--method cmc");
+    convoy()
+        .args(["discover", path.to_str().unwrap()])
+        .args(query)
+        .args(["--parallel", "2", "--stream"])
+        .assert()
+        .failure()
+        .code(1)
+        .stderr_contains("mutually exclusive");
+}
+
+#[test]
 fn generate_stats_discover_pipeline_succeeds() {
     let path = temp_path("pipeline.csv");
     convoy()

@@ -9,7 +9,7 @@ use trajectory::ObjectId;
 /// clustering routines and the convoy candidate bookkeeping (where they are
 /// intersected across time). Keeping the ids sorted makes intersection and
 /// overlap counting linear.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub struct Cluster {
     members: Vec<ObjectId>,
 }

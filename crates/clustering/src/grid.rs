@@ -42,11 +42,33 @@ impl GridIndex {
         }
     }
 
+    /// Largest cell coordinate magnitude the grid uses. `floor() as i64`
+    /// saturates at `i64::MAX` for huge or infinite inputs, and the ±1
+    /// neighbour offsets of [`GridIndex::range_query`] would then overflow;
+    /// clamping to ±2⁶² (exactly representable as `f64`) keeps every
+    /// neighbour-cell computation in range. Points this far out are beyond
+    /// any meaningful `epsilon`, so the distance filter still rejects every
+    /// false bucket-mate.
+    const CELL_LIMIT: f64 = (1i64 << 62) as f64;
+
+    #[inline]
+    fn cell_coord(v: f64, epsilon: f64) -> i64 {
+        let cell = (v / epsilon).floor();
+        if cell.is_nan() {
+            // NaN coordinates (rejected upstream at `Trajectory`
+            // construction, but raw `Point` sets can still carry them) are
+            // parked in cell 0; NaN distances compare false against every
+            // epsilon, so such points are never reported as neighbours.
+            return 0;
+        }
+        cell.clamp(-Self::CELL_LIMIT, Self::CELL_LIMIT) as i64
+    }
+
     #[inline]
     fn cell_of(p: &Point, epsilon: f64) -> (i64, i64) {
         (
-            (p.x / epsilon).floor() as i64,
-            (p.y / epsilon).floor() as i64,
+            Self::cell_coord(p.x, epsilon),
+            Self::cell_coord(p.y, epsilon),
         )
     }
 
@@ -189,6 +211,41 @@ mod tests {
         assert_eq!(n.len(), 2);
         assert!(!index.is_empty());
         assert_eq!(index.len(), 3);
+    }
+
+    #[test]
+    fn non_finite_and_astronomical_coordinates_do_not_panic_or_cluster() {
+        // Regression: `floor() as i64` saturation used to put huge and
+        // infinite coordinates into cell `i64::MAX`, and the ±1 neighbour
+        // offsets then overflowed in `range_query`.
+        let points = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.5, 0.0),
+            Point::new(1e300, -1e300),
+            Point::new(f64::INFINITY, 0.0),
+            Point::new(f64::NEG_INFINITY, f64::INFINITY),
+            Point::new(f64::NAN, 3.0),
+        ];
+        let index = GridIndex::build(points, 1.0);
+        // Near the origin only the two finite nearby points are neighbours.
+        let near = index.range_query(&Point::new(0.0, 0.0));
+        assert_eq!(near, vec![0, 1]);
+        // Querying at the pathological points must not panic, and a NaN
+        // point is not even its own neighbour (NaN distance).
+        for i in 2..index.len() {
+            let hits = index.range_query(&index.points()[i]);
+            assert!(hits.len() <= 1, "far point {i} found neighbours: {hits:?}");
+        }
+        assert!(index.range_query(&Point::new(f64::NAN, 3.0)).is_empty());
+    }
+
+    #[test]
+    fn distinct_astronomical_points_share_a_cell_but_not_a_neighbourhood() {
+        // Both coordinates clamp to the same boundary cell; the exact
+        // distance test keeps them apart.
+        let points = vec![Point::new(1e300, 0.0), Point::new(2e300, 0.0)];
+        let index = GridIndex::build(points, 5.0);
+        assert_eq!(index.range_query(&Point::new(1e300, 0.0)), vec![0]);
     }
 
     #[test]

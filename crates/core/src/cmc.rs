@@ -8,17 +8,17 @@
 //! It is also the building block of the CuTS refinement step, which runs CMC
 //! on the candidate's objects restricted to the candidate's time window.
 
-use crate::candidate::CandidateConvoy;
+use crate::engine::CmcEngine;
 use crate::query::{Convoy, ConvoyQuery};
-use traj_cluster::{snapshot_clusters, Cluster};
-use trajectory::{SnapshotPolicy, TimeInterval, TrajectoryDatabase};
+use trajectory::{TimeInterval, TrajectoryDatabase};
 
 /// Runs CMC over the whole time domain of `db`.
+///
+/// Snapshots are streamed from one sorted sweep over all samples (the
+/// [`CmcEngine::Swept`] engine); use [`CmcEngine`] directly for the per-tick
+/// baseline or the parallel driver.
 pub fn cmc(db: &TrajectoryDatabase, query: &ConvoyQuery) -> Vec<Convoy> {
-    match db.time_domain() {
-        Some(domain) => cmc_windowed(db, query, domain),
-        None => Vec::new(),
-    }
+    CmcEngine::Swept.run(db, query)
 }
 
 /// Runs CMC restricted to the time window `window` (Algorithm 1, as invoked
@@ -28,54 +28,15 @@ pub fn cmc(db: &TrajectoryDatabase, query: &ConvoyQuery) -> Vec<Convoy> {
 /// linearly interpolated (the *virtual points* of Section 4). Time points at
 /// which fewer than `m` objects are present produce no clusters, which closes
 /// every open candidate chain exactly as an empty clustering would.
+///
+/// The candidate bookkeeping lives in [`crate::engine::CmcState`]; this
+/// function folds a snapshot sweep through it.
 pub fn cmc_windowed(
     db: &TrajectoryDatabase,
     query: &ConvoyQuery,
     window: TimeInterval,
 ) -> Vec<Convoy> {
-    let mut results: Vec<Convoy> = Vec::new();
-    let mut current: Vec<CandidateConvoy> = Vec::new();
-
-    for t in window.iter() {
-        let snapshot = db.snapshot(t, SnapshotPolicy::Interpolate);
-        let clusters: Vec<Cluster> = if snapshot.len() < query.m {
-            Vec::new()
-        } else {
-            snapshot_clusters(&snapshot, query.e, query.m)
-        };
-
-        let mut next: Vec<CandidateConvoy> = Vec::new();
-        let mut cluster_assigned = vec![false; clusters.len()];
-
-        for candidate in &current {
-            let mut extended = false;
-            for (ci, cluster) in clusters.iter().enumerate() {
-                if let Some(grown) = candidate.extend_with(cluster, t, query.m) {
-                    extended = true;
-                    cluster_assigned[ci] = true;
-                    next.push(grown);
-                }
-            }
-            if !extended && candidate.lifetime() >= query.k as i64 {
-                results.push(candidate.clone().into_convoy());
-            }
-        }
-
-        for (ci, cluster) in clusters.into_iter().enumerate() {
-            if !cluster_assigned[ci] {
-                next.push(CandidateConvoy::new(cluster, t, t));
-            }
-        }
-        current = next;
-    }
-
-    // Flush candidates still open at the end of the window.
-    for candidate in current {
-        if candidate.lifetime() >= query.k as i64 {
-            results.push(candidate.into_convoy());
-        }
-    }
-    results
+    CmcEngine::Swept.run_windowed(db, query, window)
 }
 
 #[cfg(test)]

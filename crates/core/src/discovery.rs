@@ -2,10 +2,10 @@
 //! variant, times every stage, and returns a normalised result set together
 //! with the statistics the benchmark harness consumes.
 
-use crate::cmc::cmc;
 use crate::cuts::filter::{filter_simplified, simplify_database};
 use crate::cuts::refine::refine;
 use crate::cuts::{CutsConfig, CutsVariant};
+use crate::engine::CmcEngine;
 use crate::metrics::{refinement_unit, DiscoveryStats, StageTimings};
 use crate::params::auto_delta;
 use crate::query::{normalize_convoys, Convoy, ConvoyQuery};
@@ -80,16 +80,18 @@ pub struct DiscoveryOutcome {
 pub struct Discovery {
     method: Method,
     config: CutsConfig,
+    cmc_engine: CmcEngine,
 }
 
 impl Discovery {
     /// Creates a discovery run for `method` with automatic parameter
-    /// selection.
+    /// selection. CMC runs on the swept streaming engine by default.
     pub fn new(method: Method) -> Self {
         let variant = method.cuts_variant().unwrap_or(CutsVariant::Cuts);
         Discovery {
             method,
             config: CutsConfig::new(variant),
+            cmc_engine: CmcEngine::default(),
         }
     }
 
@@ -103,6 +105,15 @@ impl Discovery {
         self
     }
 
+    /// Selects the CMC execution engine (per-tick baseline, swept streaming,
+    /// or time-partitioned parallel). Ignored by the CuTS methods, whose
+    /// refinement windows are too short to benefit from partitioning.
+    #[must_use]
+    pub fn with_cmc_engine(mut self, engine: CmcEngine) -> Self {
+        self.cmc_engine = engine;
+        self
+    }
+
     /// The method this run executes.
     pub fn method(&self) -> Method {
         self.method
@@ -113,13 +124,18 @@ impl Discovery {
         &self.config
     }
 
+    /// The engine a CMC run uses.
+    pub fn cmc_engine(&self) -> CmcEngine {
+        self.cmc_engine
+    }
+
     /// Executes the discovery and returns the normalised result set together
     /// with timings and statistics.
     pub fn run(&self, db: &TrajectoryDatabase, query: &ConvoyQuery) -> DiscoveryOutcome {
         match self.method {
             Method::Cmc => {
                 let started = Instant::now();
-                let raw = cmc(db, query);
+                let raw = self.cmc_engine.run(db, query);
                 let filter_time = started.elapsed();
                 let convoys = normalize_convoys(raw, query);
                 DiscoveryOutcome {
@@ -255,6 +271,36 @@ mod tests {
                 reference.convoys
             );
         }
+    }
+
+    #[test]
+    fn cmc_engines_agree_through_the_facade() {
+        let db = scenario_db();
+        let query = ConvoyQuery::new(3, 10, 2.0);
+        let reference = Discovery::new(Method::Cmc)
+            .with_cmc_engine(CmcEngine::PerTick)
+            .run(&db, &query);
+        assert!(!reference.convoys.is_empty());
+        for engine in [
+            CmcEngine::Swept,
+            CmcEngine::Parallel { threads: 2 },
+            CmcEngine::Parallel { threads: 5 },
+        ] {
+            let outcome = Discovery::new(Method::Cmc)
+                .with_cmc_engine(engine)
+                .run(&db, &query);
+            assert_eq!(
+                outcome.convoys,
+                reference.convoys,
+                "{} engine disagreed with per-tick",
+                engine.name()
+            );
+        }
+        assert_eq!(
+            Discovery::new(Method::Cmc).cmc_engine(),
+            CmcEngine::Swept,
+            "streaming sweep is the default engine"
+        );
     }
 
     #[test]

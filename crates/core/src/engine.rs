@@ -1,0 +1,597 @@
+//! The streaming + parallel convoy engine.
+//!
+//! Algorithm 1 (CMC) is both the exact baseline and the inner loop of CuTS
+//! refinement, so this module factors it into composable pieces:
+//!
+//! * [`CmcState`] — the incremental core: ingest one snapshot (or one tick's
+//!   clusters), emit the convoys that closed at that tick. `cmc_windowed`,
+//!   the refinement step, the parallel driver and streaming ingest all fold
+//!   through this one state machine, so there is a single implementation of
+//!   the candidate bookkeeping (including the per-step candidate
+//!   de-duplication).
+//! * [`CmcEngine`] — the execution strategy: legacy per-tick snapshot
+//!   extraction, the swept single-pass cursor, or the time-partitioned
+//!   parallel driver.
+//! * [`cmc_parallel_windowed`] — the parallel driver. The time domain is
+//!   split into one contiguous partition per thread; each worker streams its
+//!   partition with a [`SnapshotSweep`] and density-clusters every tick (the
+//!   measured hot path of CMC). The per-tick clusters are then folded through
+//!   a single [`CmcState`] in time order, which stitches candidate chains
+//!   across partition boundaries: a chain open at the end of partition *z*
+//!   simply keeps extending into the clusters of partition *z + 1*.
+//!
+//! Why the fold is sequential: Algorithm 1 starts a fresh candidate from a
+//! cluster only when the cluster extended **no** existing candidate, so chain
+//! creation depends on every candidate alive at that tick — including chains
+//! begun in earlier partitions. Folding partitions independently and joining
+//! their candidate sets afterwards can therefore both invent chains the
+//! sequential algorithm never starts and miss convoys whose chains die midway
+//! through a partition. Clustering carries no such coupling, which is exactly
+//! why the expensive stage parallelises cleanly while the (cheap) fold keeps
+//! the paper's semantics bit-for-bit.
+
+use crate::candidate::CandidateConvoy;
+use crate::query::{Convoy, ConvoyQuery};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use traj_cluster::{snapshot_clusters, Cluster};
+use trajectory::{
+    Snapshot, SnapshotPolicy, SnapshotSweep, TimeInterval, TimePoint, TrajectoryDatabase,
+};
+
+/// The incremental CMC state machine: ingest snapshots (or pre-clustered
+/// ticks) in time order, collect the convoys whose candidate chains close.
+///
+/// This is Algorithm 1 with the loop turned inside out, which is what makes
+/// it usable beyond the batch setting: an unbounded feed (a live position
+/// stream) can push one snapshot at a time and drain closed convoys as they
+/// are discovered, without the whole time domain ever being materialized.
+///
+/// Time points must be ingested in increasing order. A tick with no clusters
+/// closes every open candidate, exactly like an empty snapshot in the batch
+/// algorithm — and a *skipped* tick (a feed outage) is treated the same way,
+/// so no convoy ever spans time points the state never observed.
+///
+/// ```
+/// use convoy_core::{CmcState, ConvoyQuery};
+/// use trajectory::{ObjectId, SnapshotPolicy, Trajectory, TrajectoryDatabase};
+///
+/// let mut db = TrajectoryDatabase::new();
+/// for i in 0..3u64 {
+///     let traj = Trajectory::from_tuples(
+///         (0..8).map(|t| (t as f64, i as f64 * 0.5, t as i64))).unwrap();
+///     db.insert(ObjectId(i), traj);
+/// }
+/// let mut state = CmcState::new(&ConvoyQuery::new(3, 4, 1.5));
+/// for snapshot in db.sweep(SnapshotPolicy::Interpolate) {
+///     state.ingest_snapshot(&snapshot);
+/// }
+/// let convoys = state.finish();
+/// assert_eq!(convoys.len(), 1);
+/// assert_eq!(convoys[0].lifetime(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CmcState {
+    query: ConvoyQuery,
+    current: Vec<CandidateConvoy>,
+    closed: Vec<Convoy>,
+    peak_candidates: usize,
+    last_tick: Option<TimePoint>,
+}
+
+impl CmcState {
+    /// Creates an empty state for `query`.
+    pub fn new(query: &ConvoyQuery) -> Self {
+        CmcState {
+            query: *query,
+            current: Vec::new(),
+            closed: Vec::new(),
+            peak_candidates: 0,
+            last_tick: None,
+        }
+    }
+
+    /// Ingests the snapshot of one time point: density-clusters it and folds
+    /// the clusters into the candidate chains.
+    pub fn ingest_snapshot(&mut self, snapshot: &Snapshot) {
+        let clusters: Vec<Cluster> = if snapshot.len() < self.query.m {
+            Vec::new()
+        } else {
+            snapshot_clusters(snapshot, self.query.e, self.query.m)
+        };
+        self.ingest_clusters(snapshot.time, &clusters);
+    }
+
+    /// Folds one tick's clusters into the candidate chains (Algorithm 1,
+    /// lines 5–11). Candidates that fail to extend and satisfy the lifetime
+    /// constraint are moved to the closed set.
+    ///
+    /// Candidates are de-duplicated per step on `(objects, start)`: two
+    /// chains that converge to the same member set and begin at the same
+    /// tick are indistinguishable from that point on, so keeping both would
+    /// multiply the candidate set every subsequent tick. Disjoint DBSCAN
+    /// partitions never converge this way, but this entry point accepts
+    /// *arbitrary* cluster lists (overlapping communities, merged partition
+    /// clusters, hand-fed streams), where the blow-up is real.
+    ///
+    /// Ticks must arrive in strictly increasing order (debug-asserted). A
+    /// **gap** — `t` more than one tick after the previous ingest, e.g. a
+    /// live feed dropping ticks during an outage — closes every open
+    /// candidate first: an unobserved tick has no clusters, and a convoy must
+    /// be density-connected at *every* time point of its interval, so no
+    /// chain may silently span ticks the state never saw.
+    pub fn ingest_clusters(&mut self, t: TimePoint, clusters: &[Cluster]) {
+        if let Some(last) = self.last_tick {
+            debug_assert!(last < t, "ticks must be ingested in increasing order");
+            if t > last + 1 {
+                self.close_all_candidates();
+            }
+        }
+        self.last_tick = Some(t);
+
+        let mut next: Vec<CandidateConvoy> = Vec::with_capacity(self.current.len());
+        let mut seen: HashSet<(Cluster, TimePoint)> = HashSet::new();
+        let mut cluster_assigned = vec![false; clusters.len()];
+
+        for candidate in &self.current {
+            let mut extended = false;
+            for (ci, cluster) in clusters.iter().enumerate() {
+                if let Some(grown) = candidate.extend_with(cluster, t, self.query.m) {
+                    extended = true;
+                    cluster_assigned[ci] = true;
+                    if seen.insert((grown.objects.clone(), grown.start)) {
+                        next.push(grown);
+                    }
+                }
+            }
+            if !extended && candidate.lifetime() >= self.query.k as i64 {
+                self.closed.push(candidate.clone().into_convoy());
+            }
+        }
+
+        for (ci, cluster) in clusters.iter().enumerate() {
+            if !cluster_assigned[ci] {
+                let fresh = CandidateConvoy::new(cluster.clone(), t, t);
+                if seen.insert((fresh.objects.clone(), fresh.start)) {
+                    next.push(fresh);
+                }
+            }
+        }
+
+        self.current = next;
+        self.peak_candidates = self.peak_candidates.max(self.current.len());
+    }
+
+    /// Closes every open candidate (what an empty tick does), reporting the
+    /// ones that satisfy the lifetime constraint.
+    fn close_all_candidates(&mut self) {
+        for candidate in std::mem::take(&mut self.current) {
+            if candidate.lifetime() >= self.query.k as i64 {
+                self.closed.push(candidate.into_convoy());
+            }
+        }
+    }
+
+    /// Number of candidate chains currently open.
+    pub fn active_candidates(&self) -> usize {
+        self.current.len()
+    }
+
+    /// The largest number of simultaneously open candidate chains observed so
+    /// far (a bound on the per-tick working set).
+    pub fn peak_candidates(&self) -> usize {
+        self.peak_candidates
+    }
+
+    /// Takes the convoys that have closed since the last drain, leaving the
+    /// open candidates untouched. This is the streaming consumption path: an
+    /// unbounded feed ingests ticks forever and drains results periodically.
+    pub fn drain_closed(&mut self) -> Vec<Convoy> {
+        std::mem::take(&mut self.closed)
+    }
+
+    /// Ends the stream: flushes candidates still open (the window boundary
+    /// closes them) and returns every convoy not yet drained.
+    pub fn finish(mut self) -> Vec<Convoy> {
+        self.close_all_candidates();
+        self.closed
+    }
+}
+
+/// How a CMC run extracts and processes snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum CmcEngine {
+    /// Re-extract every snapshot with a per-object binary search
+    /// (`db.snapshot(t, …)` per tick). The paper-literal baseline, kept for
+    /// benchmarking the engines against.
+    PerTick,
+    /// Stream snapshots from one sorted sweep over all samples
+    /// ([`SnapshotSweep`]) and fold them incrementally. The default.
+    #[default]
+    Swept,
+    /// Time-partitioned parallel clustering with stitched folding
+    /// ([`cmc_parallel_windowed`]). `threads == 0` means "use all available
+    /// cores".
+    Parallel {
+        /// Number of worker threads (0 = `std::thread::available_parallelism`).
+        threads: usize,
+    },
+}
+
+/// Hard cap on worker threads spawned by the parallel driver. Partitioning
+/// beyond this brings no speedup (the fold is sequential anyway) and an
+/// unbounded user-supplied count would hit the OS thread limit and panic.
+pub const MAX_PARALLEL_THREADS: usize = 64;
+
+/// Resolves a requested thread count: `0` means every available core, and
+/// explicit counts are clamped to [`MAX_PARALLEL_THREADS`]. Shared by the
+/// driver and by front ends that report the effective count.
+fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested.min(MAX_PARALLEL_THREADS)
+    }
+}
+
+impl CmcEngine {
+    /// Display name used by reports and benchmarks.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CmcEngine::PerTick => "per-tick",
+            CmcEngine::Swept => "swept",
+            CmcEngine::Parallel { .. } => "parallel",
+        }
+    }
+
+    /// The number of worker threads this engine will actually use (before
+    /// the data-dependent clamp to the window's tick count): 1 for the
+    /// sequential engines, the resolved and capped count for the parallel
+    /// driver.
+    pub fn resolved_threads(&self) -> usize {
+        match *self {
+            CmcEngine::Parallel { threads } => resolve_threads(threads),
+            _ => 1,
+        }
+    }
+
+    /// Runs CMC over `window` with this engine.
+    pub fn run_windowed(
+        &self,
+        db: &TrajectoryDatabase,
+        query: &ConvoyQuery,
+        window: TimeInterval,
+    ) -> Vec<Convoy> {
+        match *self {
+            CmcEngine::PerTick => {
+                let mut state = CmcState::new(query);
+                for t in window.iter() {
+                    state.ingest_snapshot(&db.snapshot(t, SnapshotPolicy::Interpolate));
+                }
+                state.finish()
+            }
+            CmcEngine::Swept => {
+                let mut state = CmcState::new(query);
+                for snapshot in SnapshotSweep::new(db, window, SnapshotPolicy::Interpolate) {
+                    state.ingest_snapshot(&snapshot);
+                }
+                state.finish()
+            }
+            CmcEngine::Parallel { threads } => cmc_parallel_windowed(db, query, window, threads),
+        }
+    }
+
+    /// Runs CMC over the whole time domain of `db` with this engine.
+    pub fn run(&self, db: &TrajectoryDatabase, query: &ConvoyQuery) -> Vec<Convoy> {
+        match db.time_domain() {
+            Some(window) => self.run_windowed(db, query, window),
+            None => Vec::new(),
+        }
+    }
+}
+
+/// Splits `window` into `parts` contiguous, disjoint sub-windows whose sizes
+/// differ by at most one tick.
+fn split_window(window: TimeInterval, parts: usize) -> Vec<TimeInterval> {
+    let total = window.num_points();
+    let parts = (parts as i64).clamp(1, total);
+    let base = total / parts;
+    let remainder = total % parts;
+    let mut out = Vec::with_capacity(parts as usize);
+    let mut start = window.start;
+    for i in 0..parts {
+        let len = base + i64::from(i < remainder);
+        let end = start + len - 1;
+        out.push(TimeInterval::new(start, end));
+        start = end + 1;
+    }
+    out
+}
+
+/// Runs CMC over `window` with time-partitioned parallel clustering.
+///
+/// Each worker thread sweeps one contiguous partition of the window and
+/// density-clusters every tick — snapshot extraction plus DBSCAN, the part of
+/// CMC that dominates its runtime and carries no cross-tick dependency. The
+/// per-tick cluster lists are then folded through a single [`CmcState`] in
+/// time order, carrying open candidate chains across partition boundaries,
+/// so the result is identical to the sequential algorithm (see the module
+/// docs for why the fold itself must stay ordered).
+///
+/// `threads == 0` selects `std::thread::available_parallelism()`; explicit
+/// counts are clamped to [`MAX_PARALLEL_THREADS`]. With one thread (or a
+/// one-tick window) this degrades to the swept sequential engine.
+pub fn cmc_parallel_windowed(
+    db: &TrajectoryDatabase,
+    query: &ConvoyQuery,
+    window: TimeInterval,
+    threads: usize,
+) -> Vec<Convoy> {
+    let partitions = split_window(window, resolve_threads(threads));
+    if partitions.len() <= 1 {
+        return CmcEngine::Swept.run_windowed(db, query, window);
+    }
+
+    let clustered: Vec<Vec<(TimePoint, Vec<Cluster>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = partitions
+            .iter()
+            .map(|&partition| {
+                scope.spawn(move || {
+                    SnapshotSweep::new(db, partition, SnapshotPolicy::Interpolate)
+                        .map(|snapshot| {
+                            let clusters = if snapshot.len() < query.m {
+                                Vec::new()
+                            } else {
+                                snapshot_clusters(&snapshot, query.e, query.m)
+                            };
+                            (snapshot.time, clusters)
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("snapshot-clustering worker panicked"))
+            .collect()
+    });
+
+    // Stitch: one state machine consumes the partitions in time order, so a
+    // candidate chain open at a partition boundary keeps extending into the
+    // next partition's clusters.
+    let mut state = CmcState::new(query);
+    for partition in &clustered {
+        for (t, clusters) in partition {
+            state.ingest_clusters(*t, clusters);
+        }
+    }
+    state.finish()
+}
+
+/// Runs [`cmc_parallel_windowed`] over the whole time domain of `db`.
+pub fn cmc_parallel(db: &TrajectoryDatabase, query: &ConvoyQuery, threads: usize) -> Vec<Convoy> {
+    match db.time_domain() {
+        Some(window) => cmc_parallel_windowed(db, query, window, threads),
+        None => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::normalize_convoys;
+    use trajectory::{ObjectId, Trajectory};
+
+    fn cluster(ids: &[u64]) -> Cluster {
+        Cluster::new(ids.iter().map(|i| ObjectId(*i)).collect())
+    }
+
+    fn convoy_db() -> TrajectoryDatabase {
+        let mut db = TrajectoryDatabase::new();
+        for lane in 0..3u64 {
+            db.insert(
+                ObjectId(lane),
+                Trajectory::from_tuples((0..30).map(|t| (t as f64, lane as f64 * 0.5, t as i64)))
+                    .unwrap(),
+            );
+        }
+        db.insert(
+            ObjectId(9),
+            Trajectory::from_tuples((0..30).map(|t| (t as f64, 100.0, t as i64))).unwrap(),
+        );
+        db
+    }
+
+    #[test]
+    fn every_engine_agrees_on_a_simple_convoy() {
+        let db = convoy_db();
+        let query = ConvoyQuery::new(3, 5, 1.5);
+        let reference = normalize_convoys(CmcEngine::PerTick.run(&db, &query), &query);
+        assert_eq!(reference.len(), 1);
+        for engine in [
+            CmcEngine::Swept,
+            CmcEngine::Parallel { threads: 2 },
+            CmcEngine::Parallel { threads: 3 },
+            CmcEngine::Parallel { threads: 0 },
+        ] {
+            let got = normalize_convoys(engine.run(&db, &query), &query);
+            assert_eq!(got, reference, "{} disagreed with per-tick", engine.name());
+        }
+    }
+
+    #[test]
+    fn parallel_engine_stitches_convoys_across_partition_boundaries() {
+        // One convoy spanning the whole 30-tick domain, split across 7
+        // partitions: the chain must survive every boundary.
+        let db = convoy_db();
+        let query = ConvoyQuery::new(3, 25, 1.5);
+        let convoys = normalize_convoys(cmc_parallel(&db, &query, 7), &query);
+        assert_eq!(convoys.len(), 1);
+        assert_eq!(convoys[0].start, 0);
+        assert_eq!(convoys[0].end, 29);
+    }
+
+    #[test]
+    fn parallel_with_more_threads_than_ticks_degrades_gracefully() {
+        let db = convoy_db();
+        let query = ConvoyQuery::new(3, 5, 1.5);
+        let window = TimeInterval::new(10, 12);
+        let sequential = CmcEngine::Swept.run_windowed(&db, &query, window);
+        let parallel = cmc_parallel_windowed(&db, &query, window, 64);
+        assert_eq!(
+            normalize_convoys(parallel, &query),
+            normalize_convoys(sequential, &query)
+        );
+    }
+
+    #[test]
+    fn parallel_on_empty_database_returns_nothing() {
+        let db = TrajectoryDatabase::new();
+        assert!(cmc_parallel(&db, &ConvoyQuery::new(2, 2, 1.0), 4).is_empty());
+    }
+
+    #[test]
+    fn split_window_tiles_without_gaps_or_overlap() {
+        for (len, parts) in [(10i64, 3usize), (7, 7), (5, 9), (1, 4), (100, 8)] {
+            let window = TimeInterval::new(-3, -3 + len - 1);
+            let chunks = split_window(window, parts);
+            assert!(chunks.len() <= parts.max(1));
+            assert_eq!(chunks.first().unwrap().start, window.start);
+            assert_eq!(chunks.last().unwrap().end, window.end);
+            for pair in chunks.windows(2) {
+                assert_eq!(pair[0].end + 1, pair[1].start);
+            }
+            let covered: i64 = chunks.iter().map(TimeInterval::num_points).sum();
+            assert_eq!(covered, window.num_points());
+        }
+    }
+
+    #[test]
+    fn streaming_drain_reports_convoys_as_they_close() {
+        // Objects 0–2 convoy on [0, 9], then scatter; the closed convoy must
+        // be drainable as soon as the chain breaks, mid-stream.
+        let mut db = TrajectoryDatabase::new();
+        for lane in 0..3u64 {
+            db.insert(
+                ObjectId(lane),
+                Trajectory::from_tuples((0..20).map(|t| {
+                    let y = if t < 10 {
+                        lane as f64 * 0.5
+                    } else {
+                        lane as f64 * 300.0
+                    };
+                    (t as f64, y, t as i64)
+                }))
+                .unwrap(),
+            );
+        }
+        let query = ConvoyQuery::new(3, 5, 1.5);
+        let mut state = CmcState::new(&query);
+        let mut closed_at: Option<TimePoint> = None;
+        for snapshot in db.sweep(SnapshotPolicy::Interpolate) {
+            let t = snapshot.time;
+            state.ingest_snapshot(&snapshot);
+            if closed_at.is_none() {
+                let drained = state.drain_closed();
+                if !drained.is_empty() {
+                    assert_eq!(drained[0].end, 9);
+                    closed_at = Some(t);
+                }
+            }
+        }
+        assert_eq!(
+            closed_at,
+            Some(10),
+            "convoy must close when the chain breaks"
+        );
+        assert!(state.finish().is_empty(), "nothing left after the drain");
+    }
+
+    #[test]
+    fn candidate_dedup_keeps_converging_chains_bounded() {
+        // Regression for the duplicate-candidate blow-up: two overlapping
+        // clusters at t=0 both converge to {1, 2} at t=1, and every later
+        // tick offers two overlapping clusters that each extend {1, 2}.
+        // Without per-step dedup the candidate count doubles every tick
+        // (2^20 here); with it the working set stays constant.
+        let query = ConvoyQuery::new(2, 3, 1.0);
+        let mut state = CmcState::new(&query);
+        state.ingest_clusters(0, &[cluster(&[1, 2, 3]), cluster(&[1, 2, 4])]);
+        assert_eq!(state.active_candidates(), 2);
+        for t in 1..=20 {
+            state.ingest_clusters(t, &[cluster(&[1, 2, 5]), cluster(&[1, 2, 6])]);
+            assert!(
+                state.active_candidates() <= 4,
+                "candidate set exploded at t={t}: {}",
+                state.active_candidates()
+            );
+        }
+        assert!(state.peak_candidates() <= 4);
+        let convoys = normalize_convoys(state.finish(), &query);
+        // The surviving chain is {1, 2} over the whole stream.
+        assert_eq!(convoys.len(), 1);
+        assert_eq!(convoys[0].objects, cluster(&[1, 2]));
+        assert_eq!(convoys[0].start, 0);
+        assert_eq!(convoys[0].end, 20);
+    }
+
+    #[test]
+    fn dedup_does_not_merge_chains_with_different_starts() {
+        let query = ConvoyQuery::new(2, 2, 1.0);
+        let mut state = CmcState::new(&query);
+        state.ingest_clusters(0, &[cluster(&[1, 2])]);
+        // At t=1 the fresh cluster {1, 2, 3} extends the open chain (objects
+        // {1, 2}, start 0). The cluster is assigned, so no fresh chain with
+        // start 1 appears — same semantics as the batch algorithm.
+        state.ingest_clusters(1, &[cluster(&[1, 2, 3])]);
+        assert_eq!(state.active_candidates(), 1);
+        let convoys = state.finish();
+        assert_eq!(convoys.len(), 1);
+        assert_eq!(convoys[0].start, 0);
+    }
+
+    #[test]
+    fn dropped_ticks_close_candidates_instead_of_bridging_the_gap() {
+        // A live feed loses ticks 3..=7: the chain alive at tick 2 must not
+        // be silently extended across the unobserved interval.
+        let query = ConvoyQuery::new(2, 2, 1.0);
+        let mut state = CmcState::new(&query);
+        for t in 0..=2 {
+            state.ingest_clusters(t, &[cluster(&[1, 2])]);
+        }
+        state.ingest_clusters(8, &[cluster(&[1, 2])]);
+        state.ingest_clusters(9, &[cluster(&[1, 2])]);
+        let convoys = state.finish();
+        assert_eq!(convoys.len(), 2);
+        assert_eq!(convoys[0].interval(), TimeInterval::new(0, 2));
+        assert_eq!(convoys[1].interval(), TimeInterval::new(8, 9));
+    }
+
+    #[test]
+    fn absurd_thread_counts_are_capped_not_spawned() {
+        assert_eq!(
+            CmcEngine::Parallel { threads: 500_000 }.resolved_threads(),
+            MAX_PARALLEL_THREADS
+        );
+        assert_eq!(CmcEngine::Swept.resolved_threads(), 1);
+        assert!(CmcEngine::Parallel { threads: 0 }.resolved_threads() >= 1);
+        // And the driver completes (clamped) rather than exhausting the OS.
+        let db = convoy_db();
+        let query = ConvoyQuery::new(3, 5, 1.5);
+        let reference = normalize_convoys(CmcEngine::Swept.run(&db, &query), &query);
+        let capped = normalize_convoys(cmc_parallel(&db, &query, 500_000), &query);
+        assert_eq!(capped, reference);
+    }
+
+    #[test]
+    fn gap_tick_closes_candidates() {
+        let query = ConvoyQuery::new(2, 2, 1.0);
+        let mut state = CmcState::new(&query);
+        state.ingest_clusters(0, &[cluster(&[1, 2])]);
+        state.ingest_clusters(1, &[cluster(&[1, 2])]);
+        state.ingest_clusters(2, &[]);
+        let closed = state.drain_closed();
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].interval(), TimeInterval::new(0, 1));
+    }
+}

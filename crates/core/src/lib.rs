@@ -10,6 +10,10 @@
 //!   consecutive time points;
 //! * **CMC** ([`cmc`]): the Coherent Moving Cluster baseline (Algorithm 1)
 //!   that clusters every snapshot and intersects clusters over time;
+//! * the **streaming + parallel engine** ([`engine`]): the incremental
+//!   [`CmcState`] fold, the swept single-pass extraction and the
+//!   time-partitioned parallel driver behind [`cmc`] — selectable per run via
+//!   [`CmcEngine`];
 //! * the **CuTS family** ([`cuts`]): the filter–refinement algorithms built
 //!   on trajectory simplification — CuTS (DP + `DLL` bounds), CuTS+ (DP+ +
 //!   `DLL` bounds) and CuTS* (DP* + `D*` bounds);
@@ -49,6 +53,7 @@ pub mod candidate;
 pub mod cmc;
 pub mod cuts;
 pub mod discovery;
+pub mod engine;
 pub mod mc2;
 pub mod metrics;
 pub mod params;
@@ -58,6 +63,7 @@ pub use candidate::CandidateConvoy;
 pub use cmc::{cmc, cmc_windowed};
 pub use cuts::{CutsConfig, CutsVariant};
 pub use discovery::{Discovery, DiscoveryOutcome, Method};
+pub use engine::{cmc_parallel, cmc_parallel_windowed, CmcEngine, CmcState};
 pub use mc2::{mc2, Mc2Config};
 pub use metrics::{refinement_unit, DiscoveryStats, StageTimings};
 pub use params::{auto_delta, auto_lambda};

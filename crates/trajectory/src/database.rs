@@ -212,6 +212,28 @@ impl TrajectoryDatabase {
         Snapshot { time: t, entries }
     }
 
+    /// Streams the snapshots of `window` from one time-ordered pass over all
+    /// samples — amortized O(total samples + objects × time points), versus
+    /// one binary search per object per tick for repeated
+    /// [`TrajectoryDatabase::snapshot`] calls. The yielded snapshots are
+    /// identical to per-tick extraction.
+    pub fn sweep_window(
+        &self,
+        window: TimeInterval,
+        policy: SnapshotPolicy,
+    ) -> crate::sweep::SnapshotSweep<'_> {
+        crate::sweep::SnapshotSweep::new(self, window, policy)
+    }
+
+    /// Like [`TrajectoryDatabase::sweep_window`] over the whole time domain.
+    /// An empty database yields no snapshots.
+    pub fn sweep(&self, policy: SnapshotPolicy) -> crate::sweep::SnapshotSweep<'_> {
+        match self.time_domain() {
+            Some(window) => crate::sweep::SnapshotSweep::new(self, window, policy),
+            None => crate::sweep::SnapshotSweep::empty(policy),
+        }
+    }
+
     /// Total number of stored samples across all trajectories (the "data
     /// size (points)" row of Table 3).
     pub fn total_points(&self) -> usize {

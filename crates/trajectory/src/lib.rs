@@ -14,6 +14,9 @@
 //!   trajectories keyed by object id, with snapshot extraction (the `Ot` sets
 //!   used by snapshot clustering), optional virtual-point interpolation for
 //!   missing samples, and dataset statistics matching Table 3 of the paper.
+//! * **Snapshot sweep** ([`SnapshotSweep`]): a streaming cursor that yields
+//!   every snapshot of a time window from one sorted pass over all samples,
+//!   the extraction path the convoy engines use on their hot loop.
 //!
 //! The crate is deliberately free of any clustering or simplification logic so
 //! that the substrates above it (`traj-simplify`, `traj-cluster`,
@@ -47,6 +50,7 @@ pub mod error;
 pub mod geometry;
 pub mod point;
 pub mod stats;
+pub mod sweep;
 pub mod time;
 pub mod trajectory;
 
@@ -58,5 +62,6 @@ pub use geometry::point::Point;
 pub use geometry::segment::Segment;
 pub use point::TrajPoint;
 pub use stats::DatasetStats;
+pub use sweep::SnapshotSweep;
 pub use time::{TimeInterval, TimePartition, TimePoint};
 pub use trajectory::Trajectory;

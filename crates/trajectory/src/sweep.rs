@@ -1,0 +1,322 @@
+//! Streaming snapshot extraction: one time-ordered pass over all samples.
+//!
+//! [`TrajectoryDatabase::snapshot`] answers "where is everyone at time `t`?"
+//! by binary-searching every trajectory, which costs `O(N log |o|)` per time
+//! point and `O(T · N log |o|)` for a whole CMC run. A convoy query, however,
+//! visits time points *in order*, so the searches are pure waste: a cursor
+//! per object that only ever moves forward yields every snapshot of the
+//! window in amortized `O(total samples + N · T)` — one sorted sweep, no
+//! re-searching and no per-tick index rebuilds.
+//!
+//! [`SnapshotSweep`] is that cursor. It is an `Iterator<Item = Snapshot>`
+//! producing snapshots bit-identical to per-tick
+//! [`TrajectoryDatabase::snapshot`] calls (same entry order, same
+//! interpolation arithmetic), which is what lets the convoy engines switch
+//! between the two extraction paths freely.
+
+use crate::database::ObjectId;
+use crate::database::{Snapshot, SnapshotEntry, SnapshotPolicy, TrajectoryDatabase};
+use crate::point::TrajPoint;
+use crate::time::{TimeInterval, TimePoint};
+
+/// A forward-only cursor into one object's sample list.
+#[derive(Debug, Clone)]
+struct ObjectCursor<'a> {
+    id: ObjectId,
+    points: &'a [TrajPoint],
+    /// Index of the last sample with `points[idx].t <= t` for the sweep's
+    /// current time `t` (only valid once `t` has reached the object's start).
+    idx: usize,
+}
+
+/// A streaming cursor that yields the successive [`Snapshot`]s of a time
+/// window from a single time-ordered pass over all samples.
+///
+/// Snapshots are produced for **every** time point of the window, including
+/// empty ones (an empty snapshot is what closes open convoy candidates, so
+/// skipping it would change CMC semantics).
+///
+/// ```
+/// use trajectory::{ObjectId, SnapshotPolicy, SnapshotSweep, Trajectory, TrajectoryDatabase};
+///
+/// let mut db = TrajectoryDatabase::new();
+/// db.insert(
+///     ObjectId(1),
+///     Trajectory::from_tuples([(0.0, 0.0, 0), (2.0, 0.0, 2)]).unwrap(),
+/// );
+/// let snapshots: Vec<_> = db.sweep(SnapshotPolicy::Interpolate).collect();
+/// assert_eq!(snapshots.len(), 3);
+/// assert_eq!(snapshots[1].entries[0].position.x, 1.0); // interpolated at t=1
+/// ```
+#[derive(Debug, Clone)]
+pub struct SnapshotSweep<'a> {
+    cursors: Vec<ObjectCursor<'a>>,
+    next_t: TimePoint,
+    end: TimePoint,
+    policy: SnapshotPolicy,
+    /// Capacity hint carried between ticks: consecutive snapshots have
+    /// near-identical sizes, so the previous length avoids re-growing the
+    /// entry vector at every time point.
+    last_len: usize,
+}
+
+impl<'a> SnapshotSweep<'a> {
+    /// Creates a sweep over `window` (clamped to nothing when the window is
+    /// empty of objects — the iterator then yields empty snapshots).
+    pub fn new(db: &'a TrajectoryDatabase, window: TimeInterval, policy: SnapshotPolicy) -> Self {
+        let cursors = db
+            .iter()
+            .map(|(id, traj)| {
+                let points = traj.points();
+                // Seek once to the last sample at or before the window start
+                // (one binary search), so a sub-window sweep deep into a long
+                // trajectory does not linearly advance through every earlier
+                // sample on its first tick.
+                let idx = points
+                    .partition_point(|p| p.t <= window.start)
+                    .saturating_sub(1);
+                ObjectCursor { id, points, idx }
+            })
+            .collect();
+        SnapshotSweep {
+            cursors,
+            next_t: window.start,
+            end: window.end,
+            policy,
+            last_len: 0,
+        }
+    }
+
+    /// A sweep that yields nothing (the whole-domain sweep of an empty
+    /// database, whose time domain does not exist).
+    pub fn empty(policy: SnapshotPolicy) -> SnapshotSweep<'static> {
+        SnapshotSweep {
+            cursors: Vec::new(),
+            next_t: 1,
+            end: 0,
+            policy,
+            last_len: 0,
+        }
+    }
+
+    /// The number of time points the sweep has not yet produced.
+    pub fn remaining(&self) -> usize {
+        if self.next_t > self.end {
+            0
+        } else {
+            (self.end - self.next_t + 1) as usize
+        }
+    }
+}
+
+impl Iterator for SnapshotSweep<'_> {
+    type Item = Snapshot;
+
+    fn next(&mut self) -> Option<Snapshot> {
+        if self.next_t > self.end {
+            return None;
+        }
+        let t = self.next_t;
+        self.next_t += 1;
+
+        let mut entries: Vec<SnapshotEntry> = Vec::with_capacity(self.last_len);
+        for cursor in &mut self.cursors {
+            // Cursors are in ascending id order (database iteration order), so
+            // the entries come out sorted by id exactly like `snapshot()`.
+            let first_t = cursor.points[0].t;
+            let last_t = cursor.points[cursor.points.len() - 1].t;
+            if t < first_t || t > last_t {
+                continue;
+            }
+            // Advance to the last sample at or before `t`. The sweep time only
+            // moves forward, so across the whole window each cursor advances
+            // at most `points.len()` times: amortized O(1) per tick.
+            while cursor.idx + 1 < cursor.points.len() && cursor.points[cursor.idx + 1].t <= t {
+                cursor.idx += 1;
+            }
+            let before = &cursor.points[cursor.idx];
+            if before.t == t {
+                entries.push(SnapshotEntry {
+                    id: cursor.id,
+                    position: before.position(),
+                    interpolated: false,
+                });
+            } else if self.policy == SnapshotPolicy::Interpolate {
+                // Same virtual-point arithmetic as `Trajectory::location_at`,
+                // so swept and per-tick snapshots are bit-identical.
+                let after = &cursor.points[cursor.idx + 1];
+                let ratio = (t - before.t) as f64 / (after.t - before.t) as f64;
+                entries.push(SnapshotEntry {
+                    id: cursor.id,
+                    position: before.position().lerp(&after.position(), ratio),
+                    interpolated: true,
+                });
+            }
+        }
+        self.last_len = entries.len();
+        Some(Snapshot { time: t, entries })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for SnapshotSweep<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trajectory::Trajectory;
+    use proptest::prelude::*;
+
+    fn traj(pts: &[(f64, f64, i64)]) -> Trajectory {
+        Trajectory::from_tuples(pts.iter().copied()).unwrap()
+    }
+
+    fn sample_db() -> TrajectoryDatabase {
+        let mut db = TrajectoryDatabase::new();
+        db.insert(
+            ObjectId(1),
+            traj(&[
+                (0.0, 0.0, 0),
+                (1.0, 0.0, 1),
+                (2.0, 0.0, 2),
+                (3.0, 0.0, 3),
+                (4.0, 0.0, 4),
+            ]),
+        );
+        // Irregular sampling: t=2 missing.
+        db.insert(
+            ObjectId(2),
+            traj(&[(0.0, 1.0, 0), (1.0, 1.0, 1), (3.0, 1.0, 3), (4.0, 1.0, 4)]),
+        );
+        // Appears late.
+        db.insert(
+            ObjectId(3),
+            traj(&[(2.0, 5.0, 2), (3.0, 5.0, 3), (4.0, 5.0, 4)]),
+        );
+        db
+    }
+
+    #[test]
+    fn sweep_matches_per_tick_snapshots_exactly() {
+        let db = sample_db();
+        for policy in [SnapshotPolicy::Interpolate, SnapshotPolicy::ExactOnly] {
+            let window = db.time_domain().unwrap();
+            let swept: Vec<Snapshot> = SnapshotSweep::new(&db, window, policy).collect();
+            let per_tick: Vec<Snapshot> = window.iter().map(|t| db.snapshot(t, policy)).collect();
+            assert_eq!(swept, per_tick);
+        }
+    }
+
+    #[test]
+    fn sweep_covers_sub_windows_and_out_of_range_windows() {
+        let db = sample_db();
+        let swept: Vec<Snapshot> =
+            SnapshotSweep::new(&db, TimeInterval::new(2, 3), SnapshotPolicy::Interpolate).collect();
+        assert_eq!(swept.len(), 2);
+        assert_eq!(swept[0], db.snapshot(2, SnapshotPolicy::Interpolate));
+        assert_eq!(swept[1], db.snapshot(3, SnapshotPolicy::Interpolate));
+        // A window entirely outside the data yields empty snapshots, exactly
+        // like per-tick extraction.
+        let outside: Vec<Snapshot> = SnapshotSweep::new(
+            &db,
+            TimeInterval::new(100, 102),
+            SnapshotPolicy::Interpolate,
+        )
+        .collect();
+        assert_eq!(outside.len(), 3);
+        assert!(outside.iter().all(Snapshot::is_empty));
+    }
+
+    #[test]
+    fn sub_window_sweep_seeks_instead_of_scanning_the_prefix() {
+        // A window deep inside a long trajectory: the constructor must seek
+        // each cursor near the window start (correctness checked here; the
+        // seek keeps the first tick O(log n) instead of O(n)).
+        let mut db = TrajectoryDatabase::new();
+        db.insert(
+            ObjectId(1),
+            Trajectory::from_tuples((0..10_000).map(|t| (t as f64, 0.0, t))).unwrap(),
+        );
+        // Irregularly sampled neighbour, also starting long before the window.
+        db.insert(
+            ObjectId(2),
+            Trajectory::from_tuples((0..2_000).map(|t| (t as f64 * 5.0, 1.0, t * 5))).unwrap(),
+        );
+        let window = TimeInterval::new(9_900, 9_920);
+        let swept: Vec<Snapshot> =
+            SnapshotSweep::new(&db, window, SnapshotPolicy::Interpolate).collect();
+        assert_eq!(swept.len(), 21);
+        for (snapshot, t) in swept.iter().zip(window.iter()) {
+            assert_eq!(snapshot, &db.snapshot(t, SnapshotPolicy::Interpolate));
+        }
+    }
+
+    #[test]
+    fn sweep_over_empty_database_yields_empty_snapshots() {
+        let db = TrajectoryDatabase::new();
+        let swept: Vec<Snapshot> =
+            SnapshotSweep::new(&db, TimeInterval::new(0, 2), SnapshotPolicy::Interpolate).collect();
+        assert_eq!(swept.len(), 3);
+        assert!(swept.iter().all(Snapshot::is_empty));
+        // The whole-domain sweep of an empty database yields nothing at all.
+        assert_eq!(db.sweep(SnapshotPolicy::Interpolate).count(), 0);
+    }
+
+    #[test]
+    fn whole_domain_sweep_uses_the_time_domain() {
+        let db = sample_db();
+        let swept: Vec<Snapshot> = db.sweep(SnapshotPolicy::Interpolate).collect();
+        assert_eq!(swept.len(), 5);
+        assert_eq!(swept[0].time, 0);
+        assert_eq!(swept[4].time, 4);
+    }
+
+    #[test]
+    fn sweep_reports_exact_size() {
+        let db = sample_db();
+        let mut sweep =
+            SnapshotSweep::new(&db, TimeInterval::new(0, 4), SnapshotPolicy::Interpolate);
+        assert_eq!(sweep.len(), 5);
+        sweep.next();
+        assert_eq!(sweep.remaining(), 4);
+        assert_eq!(sweep.size_hint(), (4, Some(4)));
+    }
+
+    prop_compose! {
+        fn arb_db()(num_objects in 1usize..6)
+            (tables in proptest::collection::vec(
+                (proptest::collection::btree_set(-20i64..20, 1..12),
+                 proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 12)),
+                num_objects..num_objects + 1))
+            -> TrajectoryDatabase {
+            let mut db = TrajectoryDatabase::new();
+            for (i, (times, coords)) in tables.into_iter().enumerate() {
+                let pts: Vec<TrajPoint> = times
+                    .into_iter()
+                    .zip(coords)
+                    .map(|(t, (x, y))| TrajPoint::new(x, y, t))
+                    .collect();
+                db.insert(ObjectId(i as u64), Trajectory::from_points(pts).unwrap());
+            }
+            db
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn sweep_equals_per_tick_extraction_on_random_databases(db in arb_db()) {
+            let window = db.time_domain().unwrap();
+            for policy in [SnapshotPolicy::Interpolate, SnapshotPolicy::ExactOnly] {
+                let swept: Vec<Snapshot> = SnapshotSweep::new(&db, window, policy).collect();
+                prop_assert_eq!(swept.len() as i64, window.num_points());
+                for (snapshot, t) in swept.iter().zip(window.iter()) {
+                    prop_assert_eq!(snapshot, &db.snapshot(t, policy));
+                }
+            }
+        }
+    }
+}

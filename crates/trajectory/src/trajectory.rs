@@ -238,6 +238,26 @@ mod tests {
     fn construction_rejects_nan() {
         let err = Trajectory::from_tuples([(0.0, 0.0, 0), (f64::NAN, 1.0, 1)]).unwrap_err();
         assert_eq!(err, TrajectoryError::NonFiniteCoordinate { index: 1 });
+        let err = Trajectory::from_tuples([(0.0, f64::NAN, 0)]).unwrap_err();
+        assert_eq!(err, TrajectoryError::NonFiniteCoordinate { index: 0 });
+    }
+
+    #[test]
+    fn construction_rejects_infinities() {
+        // Infinite coordinates would silently collapse into one grid cell in
+        // the clustering layer, so they are refused at the door like NaN.
+        let err = Trajectory::from_tuples([(f64::INFINITY, 0.0, 0)]).unwrap_err();
+        assert_eq!(err, TrajectoryError::NonFiniteCoordinate { index: 0 });
+        let err =
+            Trajectory::from_tuples([(0.0, 0.0, 0), (1.0, f64::NEG_INFINITY, 1)]).unwrap_err();
+        assert_eq!(err, TrajectoryError::NonFiniteCoordinate { index: 1 });
+        // The incremental builder funnels through the same validation.
+        let err = crate::builder::TrajectoryBuilder::new()
+            .push(0.0, 0.0, 0)
+            .push(f64::INFINITY, 0.0, 1)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TrajectoryError::NonFiniteCoordinate { index: 1 });
     }
 
     #[test]

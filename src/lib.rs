@@ -43,8 +43,9 @@ pub use trajectory;
 /// The most commonly used items from every crate, importable in one line.
 pub mod prelude {
     pub use convoy_core::{
-        cmc, compare_result_sets, mc2, normalize_convoys, Convoy, ConvoyQuery, CutsConfig,
-        CutsVariant, Discovery, DiscoveryOutcome, Mc2Config, Method,
+        cmc, cmc_parallel, compare_result_sets, mc2, normalize_convoys, CmcEngine, CmcState,
+        Convoy, ConvoyQuery, CutsConfig, CutsVariant, Discovery, DiscoveryOutcome, Mc2Config,
+        Method,
     };
     pub use traj_cluster::{snapshot_clusters, Cluster};
     pub use traj_datasets::{generate, read_csv, write_csv, DatasetProfile, ProfileName};
