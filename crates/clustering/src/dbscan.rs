@@ -48,8 +48,24 @@ pub enum Label {
 /// the first core cluster that reaches them, exactly as in the original
 /// algorithm.
 pub fn dbscan<Q: RegionQuery>(query: &Q, min_pts: usize) -> Vec<Label> {
+    dbscan_with_core_flags(query, min_pts).0
+}
+
+/// Like [`dbscan`], but also reports for every item whether it is a *core*
+/// item (`|NH_e| >= min_pts`).
+///
+/// The algorithm evaluates every item's neighbourhood exactly once anyway
+/// (at its scan visit, or when it is first labelled during an expansion), so
+/// the flags are a free by-product — the sharded clustering merge needs
+/// them, and recomputing them would double the region-query work of its hot
+/// path.
+pub fn dbscan_with_core_flags<Q: RegionQuery>(
+    query: &Q,
+    min_pts: usize,
+) -> (Vec<Label>, Vec<bool>) {
     let n = query.len();
     let mut labels = vec![Label::Unvisited; n];
+    let mut core = vec![false; n];
     let mut next_cluster = 0usize;
     let mut seeds: Vec<usize> = Vec::new();
 
@@ -63,6 +79,7 @@ pub fn dbscan<Q: RegionQuery>(query: &Q, min_pts: usize) -> Vec<Label> {
             continue;
         }
         // `start` is a core item: grow a new cluster from it.
+        core[start] = true;
         let cluster_id = next_cluster;
         next_cluster += 1;
         labels[start] = Label::Cluster(cluster_id);
@@ -82,6 +99,7 @@ pub fn dbscan<Q: RegionQuery>(query: &Q, min_pts: usize) -> Vec<Label> {
                         if item_neighbors.len() >= min_pts {
                             // `item` is itself a core item: its neighbourhood
                             // is density-reachable and must be explored.
+                            core[item] = true;
                             seeds.extend(item_neighbors);
                         }
                     }
@@ -89,7 +107,7 @@ pub fn dbscan<Q: RegionQuery>(query: &Q, min_pts: usize) -> Vec<Label> {
             }
         }
     }
-    labels
+    (labels, core)
 }
 
 /// Groups DBSCAN labels into clusters of item indices (noise is dropped).
@@ -293,7 +311,45 @@ mod tests {
         assert!(run(&triangle, 1.5, 4).iter().all(|l| *l == Label::Noise));
     }
 
+    #[test]
+    fn core_flags_match_neighbourhood_counts() {
+        // Mixed cores, borders and noise: flags must equal the brute-force
+        // core test for every point, and labels must equal plain dbscan.
+        let pts: Vec<Point> = [(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0), (50.0, 0.0)]
+            .iter()
+            .map(|(x, y)| Point::new(*x, *y))
+            .collect();
+        let provider = BruteForcePoints::new(&pts, 1.2);
+        let (labels, core) = dbscan_with_core_flags(&provider, 3);
+        assert_eq!(labels, dbscan(&provider, 3));
+        for (i, flag) in core.iter().enumerate() {
+            assert_eq!(
+                *flag,
+                provider.neighbors(i).len() >= 3,
+                "core flag mismatch at {i}"
+            );
+        }
+        // Point 3 is a border (2 neighbours), point 4 noise.
+        assert!(!core[3] && matches!(labels[3], Label::Cluster(_)));
+        assert!(!core[4] && labels[4] == Label::Noise);
+    }
+
     proptest! {
+        #[test]
+        fn core_flags_are_exact_on_random_inputs(
+            coords in proptest::collection::vec((-30.0f64..30.0, -30.0f64..30.0), 0..50),
+            e in 0.5f64..8.0,
+            m in 1usize..5) {
+            let pts: Vec<Point> = coords.iter().map(|(x, y)| Point::new(*x, *y)).collect();
+            let provider = BruteForcePoints::new(&pts, e);
+            let (labels, core) = dbscan_with_core_flags(&provider, m);
+            prop_assert_eq!(labels, dbscan(&provider, m));
+            for (i, flag) in core.iter().enumerate() {
+                prop_assert_eq!(*flag, provider.neighbors(i).len() >= m,
+                    "core flag mismatch at {}", i);
+            }
+        }
+
         #[test]
         fn every_cluster_has_at_least_one_core_point(
             coords in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 0..60),

@@ -14,7 +14,11 @@
 //!   the paper's Algorithm 2 — density clustering of *simplified
 //!   sub-trajectories* within one time partition, using the ω distance with
 //!   the Lemma 1 / Lemma 3 error bounds and the Lemma 2 bounding-box
-//!   pre-filter.
+//!   pre-filter;
+//! * [`ShardGrid`] + [`shard_clusters`] + [`merge_shard_clusters`]: spatially
+//!   sharded snapshot clustering — per-shard DBSCAN over owned objects plus
+//!   a boundary halo, merged back into exactly the global clustering (the
+//!   substrate of the sharded convoy engine).
 //!
 //! ## Example: snapshot clustering
 //!
@@ -40,8 +44,12 @@ pub mod cluster;
 pub mod dbscan;
 pub mod grid;
 pub mod segment;
+pub mod shard;
 
 pub use cluster::Cluster;
-pub use dbscan::{dbscan, Label, RegionQuery};
+pub use dbscan::{dbscan, dbscan_with_core_flags, Label, RegionQuery};
 pub use grid::{snapshot_clusters, GridIndex};
 pub use segment::{cluster_sub_trajectories, omega_distance, SegmentDistance, SubTrajectory};
+pub use shard::{
+    merge_shard_clusters, shard_clusters, sharded_snapshot_clusters, ShardClusters, ShardGrid,
+};

@@ -1,0 +1,748 @@
+//! Spatially sharded snapshot clustering with boundary-halo exchange.
+//!
+//! The sharded convoy driver splits the *spatial* domain into a grid of `S`
+//! shards, density-clusters every shard's objects independently (the
+//! embarrassingly parallel part, and in a multi-node deployment the part
+//! that never leaves the worker), and then merges the shard-local clusters
+//! into exactly the clusters a global DBSCAN run would have produced. The
+//! exchange format between workers and the coordinator is deliberately
+//! small: per tick, a shard ships its local clusters, its owned core ids,
+//! and its border-object adjacency — never raw positions of other shards.
+//!
+//! ## Why exactness is subtle
+//!
+//! A naive scheme — cluster each shard's objects alone, re-cluster the
+//! objects near shard edges, and union shard clusters that share a halo
+//! cluster — is *not* equivalent to global DBSCAN, for two reasons:
+//!
+//! 1. **Core status straddles edges.** A point's core test counts its whole
+//!    e-neighbourhood; a point near an edge can have too few same-shard
+//!    neighbours to look core locally while being core globally. A halo
+//!    restricted to points within `e` of an edge undercounts for the same
+//!    reason, so a chain crossing an edge can be silently severed.
+//! 2. **Border points are order-assigned.** A non-core point within `e` of
+//!    cores of two different clusters belongs to whichever cluster DBSCAN
+//!    seeds first (the cluster holding the smallest-index core). Shard-local
+//!    runs see different candidate sets in different orders, so unioning
+//!    clusters merely for *sharing* such a point merges clusters the global
+//!    run keeps apart.
+//!
+//! The construction here fixes both:
+//!
+//! * Every shard clusters its **owned objects plus a ghost halo of width
+//!   `2e`** (every foreign point within `2e` of the shard's rectangle).
+//!   With that width, any point within `e` of the shard rectangle has its
+//!   *entire* e-neighbourhood inside the shard's input, so its core test is
+//!   exact — in particular for both endpoints of any core–core edge that
+//!   crosses a shard boundary, which therefore always land in one common
+//!   local cluster of at least one shard.
+//! * The merge unions shard-local clusters that share an object which is
+//!   **core in the global sense** (reported by the object's owning shard,
+//!   where the test is exact). Locally-core implies globally-core (a local
+//!   neighbourhood is a subset of the global one), so shard-local clusters
+//!   never connect two global components; the union-find therefore
+//!   reproduces the global core partition exactly.
+//! * Border points are discarded from the local clusters and re-assigned by
+//!   the merge using each owner's exact border adjacency: a border object
+//!   joins the merged cluster whose smallest core id is smallest — precisely
+//!   the cluster the sequential scan (which visits snapshot entries in
+//!   object-id order) would have seeded first.
+//!
+//! The result of [`merge_shard_clusters`] is equal to
+//! [`snapshot_clusters`](crate::snapshot_clusters) as a `Vec<Cluster>` —
+//! same clusters, same members, same order — which is what lets the sharded
+//! convoy engine claim bit-identical output to sequential CMC.
+
+use crate::cluster::Cluster;
+use crate::dbscan::{dbscan_with_core_flags, labels_to_clusters};
+use crate::grid::GridIndex;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+use trajectory::geometry::{BoundingBox, Point};
+use trajectory::{ObjectId, Snapshot};
+
+/// A fixed rectangular partition of the spatial domain into `cols × rows`
+/// shards.
+///
+/// Shard assignment is a pure function of position (clamped to the grid, so
+/// every point — even one outside `bounds` — is owned by exactly one shard),
+/// which makes the partition stable across the ticks of a window: an object
+/// migrates between shards simply by moving.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardGrid {
+    bounds: BoundingBox,
+    cols: usize,
+    rows: usize,
+    cell_width: f64,
+    cell_height: f64,
+}
+
+impl ShardGrid {
+    /// Partitions `bounds` into exactly `shards` rectangles (clamped to at
+    /// least one). The factorisation is as square as the count allows, with
+    /// the longer spatial axis receiving the larger factor; a prime count
+    /// degenerates to parallel strips, which remains exact (the merge is
+    /// partition-agnostic) if less balanced.
+    pub fn new(bounds: BoundingBox, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let mut small = (shards as f64).sqrt().floor() as usize;
+        small = small.clamp(1, shards);
+        while !shards.is_multiple_of(small) {
+            small -= 1;
+        }
+        let large = shards / small;
+        let (cols, rows) = if bounds.width() >= bounds.height() {
+            (large, small)
+        } else {
+            (small, large)
+        };
+        ShardGrid {
+            bounds,
+            cols,
+            rows,
+            cell_width: bounds.width() / cols as f64,
+            cell_height: bounds.height() / rows as f64,
+        }
+    }
+
+    /// Number of shards in the grid.
+    pub fn num_shards(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Grid shape as `(cols, rows)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.cols, self.rows)
+    }
+
+    /// The bounds the grid partitions.
+    pub fn bounds(&self) -> &BoundingBox {
+        &self.bounds
+    }
+
+    #[inline]
+    fn axis_cell(v: f64, min: f64, step: f64, n: usize) -> usize {
+        let f = (v - min) / step;
+        if f.is_finite() && f > 0.0 {
+            (f as usize).min(n - 1)
+        } else {
+            // NaN coordinates, degenerate (zero-extent) axes and
+            // out-of-bounds-low points all clamp to the first cell; the
+            // merge is exact for any assignment, so clamping only affects
+            // load balance.
+            0
+        }
+    }
+
+    /// The shard owning `p`. Total: every point (including NaN or
+    /// out-of-bounds coordinates) is assigned to exactly one shard.
+    pub fn shard_of(&self, p: &Point) -> usize {
+        let col = Self::axis_cell(p.x, self.bounds.min.x, self.cell_width, self.cols);
+        let row = Self::axis_cell(p.y, self.bounds.min.y, self.cell_height, self.rows);
+        row * self.cols + col
+    }
+
+    /// The rectangle of shard `shard`. The outermost cells extend to the
+    /// grid bounds exactly, so the regions tile `bounds` without float
+    /// drift at the outer border.
+    pub fn region(&self, shard: usize) -> BoundingBox {
+        assert!(shard < self.num_shards(), "shard {shard} out of range");
+        let col = shard % self.cols;
+        let row = shard / self.cols;
+        let min_x = self.bounds.min.x + col as f64 * self.cell_width;
+        let min_y = self.bounds.min.y + row as f64 * self.cell_height;
+        let max_x = if col + 1 == self.cols {
+            self.bounds.max.x
+        } else {
+            self.bounds.min.x + (col + 1) as f64 * self.cell_width
+        };
+        let max_y = if row + 1 == self.rows {
+            self.bounds.max.y
+        } else {
+            self.bounds.min.y + (row + 1) as f64 * self.cell_height
+        };
+        BoundingBox::new(Point::new(min_x, min_y), Point::new(max_x, max_y))
+    }
+
+    /// Distance from `p` to the rectangle of `shard` (zero inside).
+    pub fn distance_to(&self, shard: usize, p: &Point) -> f64 {
+        self.region(shard).min_distance_to_point(p)
+    }
+
+    /// Distance from `p` to the nearest *internal* shard edge (the grid
+    /// lines separating shards). Infinite for a single-shard grid: with no
+    /// internal edges nothing is ever a boundary object.
+    ///
+    /// For any point inside the bounds this equals the distance to the
+    /// nearest *foreign* shard rectangle — the predicate
+    /// [`shard_clusters`] uses (against `2e`) to build its ghost halo — so
+    /// `boundary_distance(p) <= e` is exactly "p is a ghost candidate of
+    /// some neighbouring shard at margin e" (property-tested below).
+    pub fn boundary_distance(&self, p: &Point) -> f64 {
+        let mut best = f64::INFINITY;
+        let col = Self::axis_cell(p.x, self.bounds.min.x, self.cell_width, self.cols);
+        let row = Self::axis_cell(p.y, self.bounds.min.y, self.cell_height, self.rows);
+        if col > 0 {
+            best = best.min((p.x - (self.bounds.min.x + col as f64 * self.cell_width)).abs());
+        }
+        if col + 1 < self.cols {
+            best = best.min(((self.bounds.min.x + (col + 1) as f64 * self.cell_width) - p.x).abs());
+        }
+        if row > 0 {
+            best = best.min((p.y - (self.bounds.min.y + row as f64 * self.cell_height)).abs());
+        }
+        if row + 1 < self.rows {
+            best =
+                best.min(((self.bounds.min.y + (row + 1) as f64 * self.cell_height) - p.y).abs());
+        }
+        best
+    }
+
+    /// The objects of `snapshot` within `margin` of an internal shard edge —
+    /// the *boundary objects* whose clusters can straddle shards and whose
+    /// halo therefore has to be exchanged before the merge.
+    pub fn boundary_objects(&self, snapshot: &Snapshot, margin: f64) -> Vec<ObjectId> {
+        snapshot
+            .entries
+            .iter()
+            .filter(|entry| self.boundary_distance(&entry.position) <= margin)
+            .map(|entry| entry.id)
+            .collect()
+    }
+
+    /// Additive slack absorbing the float rounding of region boundaries, so
+    /// a ghost sitting arithmetically *exactly* on the halo rim is never
+    /// excluded by a last-ulp rounding error. Scales with the coordinate
+    /// magnitude of the grid; including extra ghosts is always safe (the
+    /// merge proof only needs the halo to be a superset).
+    fn halo_slack(&self) -> f64 {
+        let mag = self
+            .bounds
+            .min
+            .x
+            .abs()
+            .max(self.bounds.min.y.abs())
+            .max(self.bounds.max.x.abs())
+            .max(self.bounds.max.y.abs())
+            .max(1.0);
+        mag * f64::EPSILON * 4.0
+    }
+}
+
+/// One shard's contribution to a tick: the output of the local clustering
+/// pass, and everything the coordinator needs to merge exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardClusters {
+    /// The shard that produced this partial result.
+    pub shard: usize,
+    /// Local DBSCAN clusters over the shard's input (owned objects plus the
+    /// `2e` ghost halo). Ghost members are retained — they are what stitches
+    /// a cluster straddling the shard edge to its other half.
+    pub clusters: Vec<Cluster>,
+    /// Owned objects that are core in the *global* sense (their whole
+    /// e-neighbourhood is inside the shard input, so the local test is
+    /// exact).
+    pub cores: Vec<ObjectId>,
+    /// Owned non-core objects within `e` of at least one core, paired with
+    /// those core neighbours. The merge re-assigns border objects from this
+    /// adjacency instead of trusting order-dependent local labels.
+    pub border_links: Vec<(ObjectId, Vec<ObjectId>)>,
+}
+
+/// Runs the shard-local pass for one tick: filters the snapshot to the
+/// shard's owned objects plus its ghost halo, density-clusters that input,
+/// and computes the exact core set and border adjacency of the owned
+/// objects.
+///
+/// This is the per-worker unit of the sharded convoy engine; it only reads
+/// the snapshot, so workers can run it concurrently for disjoint shards.
+pub fn shard_clusters(
+    snapshot: &Snapshot,
+    grid: &ShardGrid,
+    shard: usize,
+    e: f64,
+    m: usize,
+) -> ShardClusters {
+    let slack = grid.halo_slack();
+    let halo = 2.0 * e.max(0.0) + slack;
+    let near_margin = e.max(0.0) + slack;
+    let region = grid.region(shard);
+    let mut ids: Vec<ObjectId> = Vec::new();
+    let mut points: Vec<Point> = Vec::new();
+    let mut owned: Vec<bool> = Vec::new();
+    let mut near: Vec<bool> = Vec::new();
+    for entry in &snapshot.entries {
+        let is_owner = grid.shard_of(&entry.position) == shard;
+        let dist = if is_owner {
+            0.0
+        } else {
+            region.min_distance_to_point(&entry.position)
+        };
+        if is_owner || dist <= halo {
+            ids.push(entry.id);
+            points.push(entry.position);
+            owned.push(is_owner);
+            near.push(dist <= near_margin);
+        }
+    }
+
+    let index = GridIndex::build(points, e);
+    let (labels, local_core) = dbscan_with_core_flags(&index, m);
+    let clusters: Vec<Cluster> = labels_to_clusters(&labels)
+        .into_iter()
+        .map(|members| members.into_iter().map(|i| ids[i]).collect())
+        .collect();
+
+    // Exact core flags: a local flag is trustworthy only for points within
+    // `e` of the region (their whole neighbourhoods are inside the input) —
+    // and the only flags consulted below are those of owned points and of
+    // the within-`e` neighbours of owned border points, all of which are
+    // `near`. Outer-ring ghosts are masked to `false`.
+    let core_flag: Vec<bool> = (0..index.len()).map(|i| near[i] && local_core[i]).collect();
+
+    let mut cores = Vec::new();
+    let mut border_links = Vec::new();
+    for i in 0..ids.len() {
+        if !owned[i] {
+            continue;
+        }
+        if core_flag[i] {
+            cores.push(ids[i]);
+        } else {
+            let links: Vec<ObjectId> = index
+                .range_query(&index.points()[i])
+                .into_iter()
+                .filter(|&j| core_flag[j])
+                .map(|j| ids[j])
+                .collect();
+            if !links.is_empty() {
+                border_links.push((ids[i], links));
+            }
+        }
+    }
+
+    ShardClusters {
+        shard,
+        clusters,
+        cores,
+        border_links,
+    }
+}
+
+/// A minimal union-find over cluster indices.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            self.parent[i] = self.parent[self.parent[i]];
+            i = self.parent[i];
+        }
+        i
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Merges the per-shard partial results of one tick into the clusters a
+/// global DBSCAN run over the whole snapshot would have produced — same
+/// member sets, same cluster order.
+///
+/// The merge unions local clusters that share a globally-core object,
+/// collects each component's cores, re-assigns border objects to the
+/// component whose smallest core id is smallest (the component the
+/// sequential id-ordered scan seeds first), and emits the components in
+/// ascending order of that smallest core id (the sequential cluster-label
+/// order).
+pub fn merge_shard_clusters<'a, I>(partials: I) -> Vec<Cluster>
+where
+    I: IntoIterator<Item = &'a ShardClusters>,
+{
+    let partials: Vec<&ShardClusters> = partials.into_iter().collect();
+
+    let core_set: HashSet<ObjectId> = partials
+        .iter()
+        .flat_map(|p| p.cores.iter().copied())
+        .collect();
+    if core_set.is_empty() {
+        return Vec::new();
+    }
+
+    let all_clusters: Vec<&Cluster> = partials.iter().flat_map(|p| p.clusters.iter()).collect();
+    let mut uf = UnionFind::new(all_clusters.len());
+    // First local cluster observed to contain each core; later sightings
+    // union into it.
+    let mut rep: HashMap<ObjectId, usize> = HashMap::new();
+    for (ci, cluster) in all_clusters.iter().enumerate() {
+        for id in cluster.iter() {
+            if core_set.contains(&id) {
+                match rep.entry(id) {
+                    Entry::Occupied(existing) => uf.union(ci, *existing.get()),
+                    Entry::Vacant(slot) => {
+                        slot.insert(ci);
+                    }
+                }
+            }
+        }
+    }
+
+    // Component root -> (smallest core id, members so far).
+    let mut components: HashMap<usize, (ObjectId, Vec<ObjectId>)> = HashMap::new();
+    for (&id, &ci) in &rep {
+        let root = uf.find(ci);
+        let entry = components.entry(root).or_insert((id, Vec::new()));
+        entry.0 = entry.0.min(id);
+        entry.1.push(id);
+    }
+
+    // Border objects join the candidate component seeded earliest by the
+    // sequential scan: the one with the smallest minimum core id.
+    for partial in &partials {
+        for (border, links) in &partial.border_links {
+            let target = links
+                .iter()
+                .filter_map(|core| rep.get(core).copied())
+                .map(|ci| uf.find(ci))
+                .min_by_key(|root| components[root].0);
+            debug_assert!(target.is_some(), "border object linked to unknown core");
+            if let Some(root) = target {
+                components
+                    .get_mut(&root)
+                    .expect("component exists")
+                    .1
+                    .push(*border);
+            }
+        }
+    }
+
+    let mut merged: Vec<(ObjectId, Vec<ObjectId>)> = components.into_values().collect();
+    merged.sort_by_key(|(min_core, _)| *min_core);
+    merged
+        .into_iter()
+        .map(|(_, members)| Cluster::new(members))
+        .collect()
+}
+
+/// Convenience single-call form: shards the snapshot's own bounding box into
+/// `shards` cells, runs every shard's local pass, and merges. Equal to
+/// [`snapshot_clusters`](crate::snapshot_clusters) for every input — the
+/// equality the convoy shard-equivalence harness locks in.
+pub fn sharded_snapshot_clusters(
+    snapshot: &Snapshot,
+    e: f64,
+    m: usize,
+    shards: usize,
+) -> Vec<Cluster> {
+    if snapshot.len() < m {
+        return Vec::new();
+    }
+    let Some(bounds) = BoundingBox::from_points(snapshot.entries.iter().map(|e| e.position)) else {
+        return Vec::new();
+    };
+    let grid = ShardGrid::new(bounds, shards);
+    let partials: Vec<ShardClusters> = (0..grid.num_shards())
+        .map(|s| shard_clusters(snapshot, &grid, s, e, m))
+        .collect();
+    merge_shard_clusters(&partials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::snapshot_clusters;
+    use proptest::prelude::*;
+    use trajectory::database::SnapshotEntry;
+
+    /// Builds a snapshot (id-ordered, like the database produces) from raw
+    /// positions; object ids follow the input order.
+    fn snapshot_of(positions: &[(f64, f64)]) -> Snapshot {
+        Snapshot {
+            time: 0,
+            entries: positions
+                .iter()
+                .enumerate()
+                .map(|(i, (x, y))| SnapshotEntry {
+                    id: ObjectId(i as u64),
+                    position: Point::new(*x, *y),
+                    interpolated: false,
+                })
+                .collect(),
+        }
+    }
+
+    /// Asserts the sharded pipeline reproduces the sequential clustering
+    /// exactly (same clusters, same order) for every shard count in `counts`.
+    fn assert_exact(positions: &[(f64, f64)], e: f64, m: usize, counts: &[usize]) {
+        let snap = snapshot_of(positions);
+        let reference = snapshot_clusters(&snap, e, m);
+        for &shards in counts {
+            let sharded = sharded_snapshot_clusters(&snap, e, m, shards);
+            assert_eq!(
+                sharded, reference,
+                "sharded ({shards} shards) diverged from sequential (e={e}, m={m})"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_partitions_every_point_exactly_once() {
+        let bounds = BoundingBox::new(Point::new(-10.0, -5.0), Point::new(10.0, 5.0));
+        let grid = ShardGrid::new(bounds, 6);
+        assert_eq!(grid.num_shards(), 6);
+        let (cols, rows) = grid.shape();
+        assert_eq!(cols * rows, 6);
+        assert!(cols >= rows, "wider-than-tall bounds get more columns");
+        for i in 0..40 {
+            for j in 0..20 {
+                let p = Point::new(-10.0 + i as f64 * 0.5, -5.0 + j as f64 * 0.5);
+                let s = grid.shard_of(&p);
+                assert!(s < grid.num_shards());
+                assert_eq!(
+                    grid.distance_to(s, &p),
+                    0.0,
+                    "owner region must contain the point"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prime_shard_count_degenerates_to_strips() {
+        let bounds = BoundingBox::new(Point::new(0.0, 0.0), Point::new(7.0, 1.0));
+        let grid = ShardGrid::new(bounds, 7);
+        assert_eq!(grid.shape(), (7, 1));
+        // Region x-extents tile [0, 7].
+        for s in 0..7 {
+            let r = grid.region(s);
+            assert!((r.width() - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(grid.region(6).max.x, 7.0, "last cell reaches the bound");
+    }
+
+    #[test]
+    fn out_of_bounds_and_nan_points_clamp_to_edge_shards() {
+        let bounds = BoundingBox::new(Point::new(0.0, 0.0), Point::new(4.0, 4.0));
+        let grid = ShardGrid::new(bounds, 4);
+        assert_eq!(grid.shard_of(&Point::new(-100.0, -100.0)), 0);
+        let far = grid.shard_of(&Point::new(100.0, 100.0));
+        assert_eq!(far, grid.num_shards() - 1);
+        // NaN clamps that axis to cell 0; the finite axis still places the
+        // point (col 0, row 1 of the 2x2 grid).
+        assert_eq!(grid.shard_of(&Point::new(f64::NAN, 2.0)), 2);
+        // Degenerate bounds: a single point world still owns everything.
+        let degenerate = ShardGrid::new(BoundingBox::from_point(Point::new(1.0, 1.0)), 5);
+        assert_eq!(degenerate.shard_of(&Point::new(1.0, 1.0)), 0);
+    }
+
+    #[test]
+    fn boundary_distance_and_objects_detect_the_halo() {
+        // 2 columns over [0, 8]: one internal edge at x = 4.
+        let bounds = BoundingBox::new(Point::new(0.0, 0.0), Point::new(8.0, 1.0));
+        let grid = ShardGrid::new(bounds, 2);
+        assert_eq!(grid.boundary_distance(&Point::new(3.0, 0.5)), 1.0);
+        assert_eq!(grid.boundary_distance(&Point::new(4.0, 0.5)), 0.0);
+        assert_eq!(grid.boundary_distance(&Point::new(6.5, 0.5)), 2.5);
+        // A single shard has no internal edges.
+        let solo = ShardGrid::new(bounds, 1);
+        assert_eq!(solo.boundary_distance(&Point::new(4.0, 0.5)), f64::INFINITY);
+
+        // Objects exactly `e` from the edge are boundary objects (inclusive).
+        let snap = snapshot_of(&[(3.0, 0.5), (4.0, 0.5), (5.0, 0.5), (7.9, 0.5)]);
+        let boundary = grid.boundary_objects(&snap, 1.0);
+        assert_eq!(boundary, vec![ObjectId(0), ObjectId(1), ObjectId(2)]);
+    }
+
+    #[test]
+    fn cluster_exactly_e_from_the_shard_edge_round_trips() {
+        // 2 columns over [0, 8] (edge at x = 4); a chain whose rightmost
+        // point sits exactly `e` away from the edge on the left side, with
+        // its continuation exactly on and beyond the edge. Distances are
+        // whole numbers so the <= comparisons are arithmetically exact.
+        let positions = [
+            (0.0, 0.0), // pins bounds.min
+            (2.0, 0.0),
+            (3.0, 0.0), // exactly e = 1 from the edge
+            (4.0, 0.0), // exactly on the edge (owned by the right shard)
+            (5.0, 0.0),
+            (8.0, 0.0), // pins bounds.max
+        ];
+        assert_exact(&positions, 1.0, 2, &[2, 4, 8]);
+        // And the merged chain really is one whole cluster (the four chained
+        // points; the two pins are isolated noise), nothing dropped.
+        let merged = sharded_snapshot_clusters(&snapshot_of(&positions), 1.0, 2, 2);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(
+            merged[0].members(),
+            &[ObjectId(1), ObjectId(2), ObjectId(3), ObjectId(4)]
+        );
+    }
+
+    #[test]
+    fn shards_narrower_than_epsilon_round_trip() {
+        // 16 shards over a span of 10 with e = 2.5: every shard rectangle is
+        // narrower than e, so halos span several shards in each direction.
+        let positions: Vec<(f64, f64)> = (0..20).map(|i| (i as f64 * 0.5, 0.0)).collect();
+        assert_exact(&positions, 2.5, 3, &[16, 32]);
+        let merged = sharded_snapshot_clusters(&snapshot_of(&positions), 2.5, 3, 16);
+        assert_eq!(merged.len(), 1, "one chain, never split by narrow shards");
+        assert_eq!(merged[0].len(), 20);
+    }
+
+    #[test]
+    fn empty_shards_neither_drop_nor_duplicate_clusters() {
+        // All mass in one corner of a 3×3 grid: eight shards own nothing.
+        let positions = [
+            (0.0, 0.0),
+            (0.5, 0.0),
+            (1.0, 0.5),
+            (30.0, 30.0), // pins the far corner; isolated noise
+        ];
+        let snap = snapshot_of(&positions);
+        let grid = ShardGrid::new(
+            BoundingBox::from_points(snap.entries.iter().map(|e| e.position)).unwrap(),
+            9,
+        );
+        let partials: Vec<ShardClusters> = (0..9)
+            .map(|s| shard_clusters(&snap, &grid, s, 1.0, 2))
+            .collect();
+        assert!(
+            partials.iter().filter(|p| p.cores.is_empty()).count() >= 7,
+            "most shards are empty of cores"
+        );
+        let merged = merge_shard_clusters(&partials);
+        assert_eq!(merged, snapshot_clusters(&snap, 1.0, 2));
+        assert_eq!(merged.len(), 1);
+    }
+
+    #[test]
+    fn contested_border_object_is_assigned_like_the_sequential_scan() {
+        // Two dense groups in different shards with one non-core point
+        // equidistant (within e) from cores of both: sequential DBSCAN gives
+        // it to the cluster seeded first (smallest core id). The sharded
+        // merge must pick the same side, not duplicate or drop it.
+        let positions = [
+            (0.0, 0.0),
+            (0.1, 0.0),
+            (0.2, 0.0),
+            (0.3, 0.0), // group A (ids 0-3)
+            (4.3, 0.0),
+            (4.4, 0.0),
+            (4.5, 0.0),
+            (4.6, 0.0), // group B (ids 4-7)
+            (2.3, 0.0), // contested border (id 8): exactly e from a core of
+                        // each group, itself non-core (3 neighbours < m)
+        ];
+        let snap = snapshot_of(&positions);
+        let reference = snapshot_clusters(&snap, 2.0, 4);
+        assert_eq!(reference.len(), 2);
+        let holder: Vec<bool> = reference.iter().map(|c| c.contains(ObjectId(8))).collect();
+        assert_eq!(holder, vec![true, false], "sequential gives it to group A");
+        assert_exact(&positions, 2.0, 4, &[2, 3, 9]);
+    }
+
+    #[test]
+    fn chain_straddling_three_narrow_strips_stays_whole() {
+        // A tight chain crossing multiple internal edges; ids deliberately
+        // reversed relative to x so cluster order depends on ids, not space.
+        let positions: Vec<(f64, f64)> = (0..12).rev().map(|i| (i as f64, 0.0)).collect();
+        assert_exact(&positions, 1.0, 2, &[3, 4, 6, 12]);
+    }
+
+    #[test]
+    fn fewer_objects_than_m_yield_no_clusters() {
+        assert!(
+            sharded_snapshot_clusters(&snapshot_of(&[(0.0, 0.0), (0.1, 0.0)]), 1.0, 3, 4)
+                .is_empty()
+        );
+        assert!(sharded_snapshot_clusters(&snapshot_of(&[]), 1.0, 2, 4).is_empty());
+    }
+
+    #[test]
+    fn nan_positions_stay_noise_in_both_pipelines() {
+        let positions = [(0.0, 0.0), (0.5, 0.0), (f64::NAN, 0.0), (1.0, 0.0)];
+        assert_exact(&positions, 1.0, 2, &[1, 2, 4]);
+    }
+
+    #[test]
+    fn single_shard_is_plain_sequential_clustering() {
+        let positions = [(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (50.0, 50.0)];
+        assert_exact(&positions, 1.5, 2, &[1]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn sharded_clustering_equals_sequential_on_random_snapshots(
+            coords in proptest::collection::vec((-30.0f64..30.0, -30.0f64..30.0), 1..70),
+            e in 0.4f64..6.0,
+            m in 2usize..5,
+            shards in 2usize..12,
+        ) {
+            let snap = snapshot_of(&coords);
+            let reference = snapshot_clusters(&snap, e, m);
+            let sharded = sharded_snapshot_clusters(&snap, e, m, shards);
+            prop_assert_eq!(sharded, reference);
+        }
+
+        #[test]
+        fn boundary_distance_equals_nearest_foreign_shard_distance(
+            coords in proptest::collection::vec((-20.0f64..20.0, -20.0f64..20.0), 1..40),
+            shards in 2usize..13,
+        ) {
+            // Locks the diagnostic halo predicate (distance to internal
+            // edges) to the production one (distance to foreign shard
+            // rectangles in `shard_clusters`): they must agree for every
+            // in-bounds point, so they cannot silently drift apart.
+            let pts: Vec<Point> = coords.iter().map(|(x, y)| Point::new(*x, *y)).collect();
+            let bounds = BoundingBox::from_points(pts.iter().copied()).unwrap();
+            let grid = ShardGrid::new(bounds, shards);
+            for p in &pts {
+                let own = grid.shard_of(p);
+                let nearest_foreign = (0..grid.num_shards())
+                    .filter(|&s| s != own)
+                    .map(|s| grid.distance_to(s, p))
+                    .fold(f64::INFINITY, f64::min);
+                prop_assert_eq!(grid.boundary_distance(p), nearest_foreign);
+            }
+        }
+
+        #[test]
+        fn dense_boundary_hugging_snapshots_round_trip(
+            offsets in proptest::collection::vec(-1.0f64..1.0, 4..40),
+            shards in 2usize..9,
+        ) {
+            // Points concentrated around what will become internal shard
+            // edges: x positions hug multiples of span/shards.
+            let n = offsets.len();
+            let span = 10.0;
+            let coords: Vec<(f64, f64)> = offsets
+                .iter()
+                .enumerate()
+                .map(|(i, off)| {
+                    let edge = span * ((i % shards) as f64) / shards as f64;
+                    (edge + off * 0.6, (i / shards) as f64 * 0.4)
+                })
+                .chain([(0.0, 0.0), (span, 2.0)]) // pin the bbox
+                .collect();
+            prop_assert!(coords.len() == n + 2);
+            let snap = snapshot_of(&coords);
+            let reference = snapshot_clusters(&snap, 0.7, 3);
+            let sharded = sharded_snapshot_clusters(&snap, 0.7, 3, shards);
+            prop_assert_eq!(sharded, reference);
+        }
+    }
+}

@@ -10,8 +10,9 @@
 //!   the candidate bookkeeping (including the per-step candidate
 //!   de-duplication).
 //! * [`CmcEngine`] — the execution strategy: legacy per-tick snapshot
-//!   extraction, the swept single-pass cursor, or the time-partitioned
-//!   parallel driver.
+//!   extraction, the swept single-pass cursor, the time-partitioned
+//!   parallel driver, or the spatially sharded driver
+//!   ([`crate::shard`]).
 //! * [`cmc_parallel_windowed`] — the parallel driver. The time domain is
 //!   split into one contiguous partition per thread; each worker streams its
 //!   partition with a [`SnapshotSweep`] and density-clusters every tick (the
@@ -77,6 +78,31 @@ pub struct CmcState {
     closed: Vec<Convoy>,
     peak_candidates: usize,
     last_tick: Option<TimePoint>,
+    ticks_ingested: u64,
+    gap_closures: u64,
+    convoys_closed: u64,
+}
+
+/// Counters describing a [`CmcState`]'s life so far — the observability
+/// surface for long or unbounded feeds, where the interesting questions are
+/// "how big did the working set get", "how much of the stream have we seen"
+/// and "how often did feed outages cut chains short".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CmcStats {
+    /// Largest number of simultaneously open candidate chains observed (a
+    /// bound on the per-tick working set; see
+    /// [`CmcState::peak_candidates`]).
+    pub peak_candidates: usize,
+    /// Number of ticks ingested via [`CmcState::ingest_snapshot`] /
+    /// [`CmcState::ingest_clusters`].
+    pub ticks_ingested: u64,
+    /// Number of candidate chains force-closed because a tick was *skipped*
+    /// (the feed-outage path): an unobserved tick closes every open chain,
+    /// whether or not it qualified as a convoy.
+    pub gap_closures: u64,
+    /// Total convoys that satisfied the lifetime constraint and closed,
+    /// including ones already taken by [`CmcState::drain_closed`].
+    pub convoys_closed: u64,
 }
 
 impl CmcState {
@@ -88,6 +114,9 @@ impl CmcState {
             closed: Vec::new(),
             peak_candidates: 0,
             last_tick: None,
+            ticks_ingested: 0,
+            gap_closures: 0,
+            convoys_closed: 0,
         }
     }
 
@@ -124,10 +153,12 @@ impl CmcState {
         if let Some(last) = self.last_tick {
             debug_assert!(last < t, "ticks must be ingested in increasing order");
             if t > last + 1 {
+                self.gap_closures += self.current.len() as u64;
                 self.close_all_candidates();
             }
         }
         self.last_tick = Some(t);
+        self.ticks_ingested += 1;
 
         let mut next: Vec<CandidateConvoy> = Vec::with_capacity(self.current.len());
         let mut seen: HashSet<(Cluster, TimePoint)> = HashSet::new();
@@ -146,6 +177,7 @@ impl CmcState {
             }
             if !extended && candidate.lifetime() >= self.query.k as i64 {
                 self.closed.push(candidate.clone().into_convoy());
+                self.convoys_closed += 1;
             }
         }
 
@@ -168,6 +200,7 @@ impl CmcState {
         for candidate in std::mem::take(&mut self.current) {
             if candidate.lifetime() >= self.query.k as i64 {
                 self.closed.push(candidate.into_convoy());
+                self.convoys_closed += 1;
             }
         }
     }
@@ -181,6 +214,19 @@ impl CmcState {
     /// far (a bound on the per-tick working set).
     pub fn peak_candidates(&self) -> usize {
         self.peak_candidates
+    }
+
+    /// The state's lifetime counters: peak working-set size, ticks ingested,
+    /// chains force-closed by feed gaps, and convoys closed so far. Cheap to
+    /// call at any point of a stream (counters survive
+    /// [`CmcState::drain_closed`]).
+    pub fn stats(&self) -> CmcStats {
+        CmcStats {
+            peak_candidates: self.peak_candidates,
+            ticks_ingested: self.ticks_ingested,
+            gap_closures: self.gap_closures,
+            convoys_closed: self.convoys_closed,
+        }
     }
 
     /// Takes the convoys that have closed since the last drain, leaving the
@@ -216,6 +262,14 @@ pub enum CmcEngine {
         /// Number of worker threads (0 = `std::thread::available_parallelism`).
         threads: usize,
     },
+    /// Spatially sharded clustering with boundary-halo exchange and exact
+    /// cluster merging ([`crate::shard::cmc_sharded_windowed`]). `shards == 0`
+    /// means "one shard per available core".
+    Sharded {
+        /// Number of spatial shards (0 = one per core, clamped to
+        /// [`crate::shard::MAX_SHARDS`]).
+        shards: usize,
+    },
 }
 
 /// Hard cap on worker threads spawned by the parallel driver. Partitioning
@@ -223,15 +277,17 @@ pub enum CmcEngine {
 /// unbounded user-supplied count would hit the OS thread limit and panic.
 pub const MAX_PARALLEL_THREADS: usize = 64;
 
-/// Resolves a requested thread count: `0` means every available core, and
-/// explicit counts are clamped to [`MAX_PARALLEL_THREADS`]. Shared by the
-/// driver and by front ends that report the effective count.
+/// Resolves a requested thread count: `0` means every available core; the
+/// result is always clamped to [`MAX_PARALLEL_THREADS`] (the hard cap
+/// applies to the all-cores case too, matching the sharded driver). Shared
+/// by the driver and by front ends that report the effective count.
 fn resolve_threads(requested: usize) -> usize {
-    if requested == 0 {
+    let requested = if requested == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
-        requested.min(MAX_PARALLEL_THREADS)
-    }
+        requested
+    };
+    requested.min(MAX_PARALLEL_THREADS)
 }
 
 impl CmcEngine {
@@ -241,16 +297,29 @@ impl CmcEngine {
             CmcEngine::PerTick => "per-tick",
             CmcEngine::Swept => "swept",
             CmcEngine::Parallel { .. } => "parallel",
+            CmcEngine::Sharded { .. } => "sharded",
         }
     }
 
     /// The number of worker threads this engine will actually use (before
     /// the data-dependent clamp to the window's tick count): 1 for the
     /// sequential engines, the resolved and capped count for the parallel
-    /// driver.
+    /// drivers.
     pub fn resolved_threads(&self) -> usize {
         match *self {
             CmcEngine::Parallel { threads } => resolve_threads(threads),
+            CmcEngine::Sharded { shards } => {
+                crate::shard::resolved_shard_count(shards).min(MAX_PARALLEL_THREADS)
+            }
+            _ => 1,
+        }
+    }
+
+    /// The number of spatial shards this engine will use: the resolved and
+    /// capped count for the sharded driver, 1 for every other engine.
+    pub fn resolved_shards(&self) -> usize {
+        match *self {
+            CmcEngine::Sharded { shards } => crate::shard::resolved_shard_count(shards),
             _ => 1,
         }
     }
@@ -278,6 +347,9 @@ impl CmcEngine {
                 state.finish()
             }
             CmcEngine::Parallel { threads } => cmc_parallel_windowed(db, query, window, threads),
+            CmcEngine::Sharded { shards } => {
+                crate::shard::cmc_sharded_windowed(db, query, window, shards)
+            }
         }
     }
 
@@ -413,6 +485,9 @@ mod tests {
             CmcEngine::Parallel { threads: 2 },
             CmcEngine::Parallel { threads: 3 },
             CmcEngine::Parallel { threads: 0 },
+            CmcEngine::Sharded { shards: 2 },
+            CmcEngine::Sharded { shards: 6 },
+            CmcEngine::Sharded { shards: 0 },
         ] {
             let got = normalize_convoys(engine.run(&db, &query), &query);
             assert_eq!(got, reference, "{} disagreed with per-tick", engine.name());
@@ -593,5 +668,53 @@ mod tests {
         let closed = state.drain_closed();
         assert_eq!(closed.len(), 1);
         assert_eq!(closed[0].interval(), TimeInterval::new(0, 1));
+    }
+
+    #[test]
+    fn stats_track_ticks_peaks_and_closures() {
+        let query = ConvoyQuery::new(2, 2, 1.0);
+        let mut state = CmcState::new(&query);
+        assert_eq!(state.stats(), CmcStats::default());
+
+        // Two chains open for three ticks, then an empty tick closes both
+        // (the normal, non-gap path).
+        for t in 0..3 {
+            state.ingest_clusters(t, &[cluster(&[1, 2]), cluster(&[8, 9])]);
+        }
+        state.ingest_clusters(3, &[]);
+        let stats = state.stats();
+        assert_eq!(stats.ticks_ingested, 4);
+        assert_eq!(stats.peak_candidates, 2);
+        assert_eq!(stats.gap_closures, 0, "an observed empty tick is not a gap");
+        assert_eq!(stats.convoys_closed, 2);
+
+        // Counters survive a drain.
+        assert_eq!(state.drain_closed().len(), 2);
+        assert_eq!(state.stats().convoys_closed, 2);
+    }
+
+    #[test]
+    fn stats_count_gap_closures_from_dropped_feed_ticks() {
+        // PR 2's gap-closing path: ticks 3..=7 are lost; both open chains
+        // must be counted as gap closures even though only the qualifying
+        // one is reported as a convoy.
+        let query = ConvoyQuery::new(2, 3, 1.0);
+        let mut state = CmcState::new(&query);
+        for t in 0..3 {
+            state.ingest_clusters(t, &[cluster(&[1, 2])]);
+        }
+        // A second, too-young chain opens just before the outage.
+        state.ingest_clusters(3, &[cluster(&[1, 2, 3]), cluster(&[8, 9])]);
+        state.ingest_clusters(9, &[cluster(&[1, 2])]);
+        let stats = state.stats();
+        assert_eq!(stats.gap_closures, 2, "both chains were cut by the gap");
+        assert_eq!(
+            stats.convoys_closed, 1,
+            "only the k-satisfying chain became a convoy"
+        );
+        assert_eq!(stats.ticks_ingested, 5);
+        let convoys = state.finish();
+        assert_eq!(convoys.len(), 1);
+        assert_eq!(convoys[0].interval(), TimeInterval::new(0, 3));
     }
 }

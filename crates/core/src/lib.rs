@@ -14,6 +14,9 @@
 //!   [`CmcState`] fold, the swept single-pass extraction and the
 //!   time-partitioned parallel driver behind [`cmc`] — selectable per run via
 //!   [`CmcEngine`];
+//! * the **sharded driver** ([`shard`]): spatially sharded discovery — grid
+//!   shards clustered on worker threads with boundary-halo exchange and an
+//!   exact cluster merge, bit-identical to sequential [`cmc()`](cmc::cmc);
 //! * the **CuTS family** ([`cuts`]): the filter–refinement algorithms built
 //!   on trajectory simplification — CuTS (DP + `DLL` bounds), CuTS+ (DP+ +
 //!   `DLL` bounds) and CuTS* (DP* + `D*` bounds);
@@ -58,13 +61,15 @@ pub mod mc2;
 pub mod metrics;
 pub mod params;
 pub mod query;
+pub mod shard;
 
 pub use candidate::CandidateConvoy;
 pub use cmc::{cmc, cmc_windowed};
 pub use cuts::{CutsConfig, CutsVariant};
 pub use discovery::{Discovery, DiscoveryOutcome, Method};
-pub use engine::{cmc_parallel, cmc_parallel_windowed, CmcEngine, CmcState};
+pub use engine::{cmc_parallel, cmc_parallel_windowed, CmcEngine, CmcState, CmcStats};
 pub use mc2::{mc2, Mc2Config};
 pub use metrics::{refinement_unit, DiscoveryStats, StageTimings};
 pub use params::{auto_delta, auto_lambda};
 pub use query::{compare_result_sets, normalize_convoys, AccuracyReport, Convoy, ConvoyQuery};
+pub use shard::{cmc_sharded, cmc_sharded_windowed, resolved_shard_count, MAX_SHARDS};

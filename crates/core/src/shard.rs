@@ -1,0 +1,239 @@
+//! The spatially sharded convoy discovery driver.
+//!
+//! Where [`cmc_parallel_windowed`](crate::engine::cmc_parallel_windowed)
+//! partitions *time*, this driver partitions *space*: the world bounding box
+//! is grid-sharded into `S` rectangles ([`ShardGrid`]), worker threads sweep
+//! the window and density-cluster each shard's objects (plus a `2e` boundary
+//! halo) independently, and a coordinator merges the shard-local clusters of
+//! every tick back into exactly the global clustering before folding them
+//! through one [`CmcState`]. The result is bit-identical to sequential
+//! [`cmc()`](crate::cmc::cmc) — same convoys, same order — because both the merge
+//! (see [`traj_cluster::shard`]) and the fold reproduce the sequential
+//! algorithm's semantics exactly.
+//!
+//! ```text
+//!   shard 0 ──sweep──▶ DBSCAN(owned ∪ halo) ──┐ local clusters + cores
+//!   shard 1 ──sweep──▶ DBSCAN(owned ∪ halo) ──┤     + border links
+//!      ⋮                                      ├──▶ merge (union-find over
+//!   shard S ──sweep──▶ DBSCAN(owned ∪ halo) ──┘     shared core objects)
+//!                                                        │ per-tick clusters
+//!                                                        ▼
+//!                                              CmcState fold ──▶ convoys
+//! ```
+//!
+//! This mirrors a multi-node deployment: the only data that crosses the
+//! shard boundary is the per-tick cluster lists, core sets and border
+//! adjacency — never raw positions of foreign shards — which is exactly the
+//! seam the `CmcState::ingest_clusters` API was built for. Within one
+//! process the driver composes with the time-partitioned engine conceptually
+//! (shards × time partitions); the fold stays a single ordered pass for the
+//! same reason it does in the parallel driver (Algorithm 1's fresh-candidate
+//! rule couples chain creation across ticks).
+
+use crate::engine::{CmcEngine, CmcState, MAX_PARALLEL_THREADS};
+use crate::query::{Convoy, ConvoyQuery};
+use traj_cluster::shard::{merge_shard_clusters, shard_clusters, ShardClusters, ShardGrid};
+use trajectory::geometry::BoundingBox;
+use trajectory::{Snapshot, SnapshotPolicy, SnapshotSweep, TimeInterval, TrajectoryDatabase};
+
+/// Hard cap on the shard count. Shards beyond this add per-tick filtering
+/// and merge overhead without any additional parallelism (worker threads are
+/// separately capped at [`MAX_PARALLEL_THREADS`]).
+pub const MAX_SHARDS: usize = 256;
+
+/// Resolves a requested shard count: `0` means one shard per available core,
+/// explicit counts are clamped to [`MAX_SHARDS`].
+pub fn resolved_shard_count(requested: usize) -> usize {
+    let requested = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    };
+    requested.min(MAX_SHARDS)
+}
+
+/// The world bounding box of every sample in the database. Interpolated
+/// snapshot positions are convex combinations of samples, so they can never
+/// leave this box — which makes it a valid spatial domain for the whole
+/// window.
+fn world_bounds(db: &TrajectoryDatabase) -> Option<BoundingBox> {
+    BoundingBox::from_points(
+        db.iter()
+            .flat_map(|(_, traj)| traj.points().iter().map(|p| p.position())),
+    )
+}
+
+/// Runs CMC over `window` with spatially sharded clustering.
+///
+/// The window is swept **once** ([`SnapshotSweep`]) and the extracted
+/// snapshots are shared read-only with the worker threads (one per shard,
+/// capped at [`MAX_PARALLEL_THREADS`], shards distributed round-robin), each
+/// of which runs the shard-local pass of [`traj_cluster::shard`] for its
+/// shards at every tick — in a multi-node deployment the sweep would happen
+/// on each node over its own data instead. The per-tick partials are then
+/// merged into the exact global clustering and folded through a single
+/// [`CmcState`] in time order.
+///
+/// `shards == 0` selects one shard per available core; counts are clamped to
+/// [`MAX_SHARDS`]. With one shard (or an empty database) this degrades to
+/// the swept sequential engine.
+pub fn cmc_sharded_windowed(
+    db: &TrajectoryDatabase,
+    query: &ConvoyQuery,
+    window: TimeInterval,
+    shards: usize,
+) -> Vec<Convoy> {
+    let shard_count = resolved_shard_count(shards);
+    let bounds = match world_bounds(db) {
+        Some(bounds) if shard_count > 1 => bounds,
+        _ => return CmcEngine::Swept.run_windowed(db, query, window),
+    };
+    let grid = ShardGrid::new(bounds, shard_count);
+    let shard_count = grid.num_shards();
+    let threads = shard_count.min(MAX_PARALLEL_THREADS);
+
+    // One sweep for everyone: extraction and interpolation cost is paid
+    // once, not once per worker.
+    let snapshots: Vec<Snapshot> =
+        SnapshotSweep::new(db, window, SnapshotPolicy::Interpolate).collect();
+
+    let per_worker: Vec<Vec<Vec<ShardClusters>>> = std::thread::scope(|scope| {
+        let grid = &grid;
+        let snapshots = &snapshots;
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mine: Vec<usize> = (w..shard_count).step_by(threads).collect();
+                    snapshots
+                        .iter()
+                        .map(|snapshot| {
+                            // Mirror the sequential < m guard: such a tick
+                            // can produce no cluster, so skip the local runs.
+                            if snapshot.len() < query.m {
+                                Vec::new()
+                            } else {
+                                mine.iter()
+                                    .map(|&s| shard_clusters(snapshot, grid, s, query.e, query.m))
+                                    .collect()
+                            }
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard-clustering worker panicked"))
+            .collect()
+    });
+
+    // Coordinator: merge every tick's shard partials into the exact global
+    // clustering and fold in time order, stitching candidate chains across
+    // both shard edges (via the merge) and tick boundaries (via the state).
+    let mut state = CmcState::new(query);
+    for (i, snapshot) in snapshots.iter().enumerate() {
+        let clusters = merge_shard_clusters(per_worker.iter().flat_map(|worker| worker[i].iter()));
+        state.ingest_clusters(snapshot.time, &clusters);
+    }
+    state.finish()
+}
+
+/// Runs [`cmc_sharded_windowed`] over the whole time domain of `db`.
+pub fn cmc_sharded(db: &TrajectoryDatabase, query: &ConvoyQuery, shards: usize) -> Vec<Convoy> {
+    match db.time_domain() {
+        Some(window) => cmc_sharded_windowed(db, query, window, shards),
+        None => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::normalize_convoys;
+    use trajectory::{ObjectId, Trajectory};
+
+    /// Three objects convoying along x with a diagonal spread of ~1.4 in x,
+    /// so with one-unit-wide shard strips the cluster straddles an internal
+    /// edge at every tick. A distant loner adds noise without making the
+    /// bounding box taller than wide (the grid then splits x, not y).
+    fn marching_db(ticks: i64) -> TrajectoryDatabase {
+        let mut db = TrajectoryDatabase::new();
+        for lane in 0..3u64 {
+            db.insert(
+                ObjectId(lane),
+                Trajectory::from_tuples(
+                    (0..ticks).map(|t| (t as f64 + lane as f64 * 0.7, lane as f64 * 0.3, t)),
+                )
+                .unwrap(),
+            );
+        }
+        db.insert(
+            ObjectId(9),
+            Trajectory::from_tuples((0..ticks).map(|t| (t as f64, 20.0, t))).unwrap(),
+        );
+        db
+    }
+
+    #[test]
+    fn sharded_output_is_bit_identical_to_sequential() {
+        let db = marching_db(30);
+        let query = ConvoyQuery::new(3, 5, 1.5);
+        let reference = CmcEngine::Swept.run(&db, &query);
+        assert!(!reference.is_empty());
+        for shards in [2, 3, 5, 16] {
+            // Raw (un-normalized) equality: same convoys in the same order.
+            assert_eq!(
+                cmc_sharded(&db, &query, shards),
+                reference,
+                "{shards} shards diverged from sequential"
+            );
+        }
+    }
+
+    #[test]
+    fn convoy_crossing_a_shard_edge_every_tick_survives() {
+        // The convoy spans x ∈ [t, t+2] at tick t while strips are ~1 wide:
+        // its cluster straddles an internal edge at every single tick.
+        let db = marching_db(32);
+        let query = ConvoyQuery::new(3, 30, 1.5);
+        let convoys = normalize_convoys(cmc_sharded(&db, &query, 31), &query);
+        assert_eq!(convoys.len(), 1);
+        assert_eq!(convoys[0].start, 0);
+        assert_eq!(convoys[0].end, 31);
+        assert_eq!(convoys[0].objects.len(), 3);
+    }
+
+    #[test]
+    fn one_shard_and_empty_database_degrade_gracefully() {
+        let db = marching_db(10);
+        let query = ConvoyQuery::new(3, 5, 1.5);
+        assert_eq!(
+            cmc_sharded(&db, &query, 1),
+            CmcEngine::Swept.run(&db, &query)
+        );
+        assert!(cmc_sharded(&TrajectoryDatabase::new(), &query, 4).is_empty());
+    }
+
+    #[test]
+    fn windowed_sharding_respects_the_window() {
+        let db = marching_db(30);
+        let query = ConvoyQuery::new(3, 3, 1.5);
+        let window = TimeInterval::new(5, 14);
+        assert_eq!(
+            cmc_sharded_windowed(&db, &query, window, 6),
+            CmcEngine::Swept.run_windowed(&db, &query, window)
+        );
+    }
+
+    #[test]
+    fn absurd_shard_counts_are_clamped() {
+        assert_eq!(resolved_shard_count(1_000_000), MAX_SHARDS);
+        assert!(resolved_shard_count(0) >= 1);
+        let db = marching_db(8);
+        let query = ConvoyQuery::new(3, 4, 1.5);
+        assert_eq!(
+            cmc_sharded(&db, &query, 1_000_000),
+            CmcEngine::Swept.run(&db, &query)
+        );
+    }
+}

@@ -43,11 +43,14 @@ pub use trajectory;
 /// The most commonly used items from every crate, importable in one line.
 pub mod prelude {
     pub use convoy_core::{
-        cmc, cmc_parallel, compare_result_sets, mc2, normalize_convoys, CmcEngine, CmcState,
-        Convoy, ConvoyQuery, CutsConfig, CutsVariant, Discovery, DiscoveryOutcome, Mc2Config,
-        Method,
+        cmc, cmc_parallel, cmc_sharded, compare_result_sets, mc2, normalize_convoys, CmcEngine,
+        CmcState, CmcStats, Convoy, ConvoyQuery, CutsConfig, CutsVariant, Discovery,
+        DiscoveryOutcome, Mc2Config, Method,
     };
-    pub use traj_cluster::{snapshot_clusters, Cluster};
+    pub use traj_cluster::{
+        merge_shard_clusters, shard_clusters, sharded_snapshot_clusters, snapshot_clusters,
+        Cluster, ShardClusters, ShardGrid,
+    };
     pub use traj_datasets::{generate, read_csv, write_csv, DatasetProfile, ProfileName};
     pub use traj_simplify::{
         DouglasPeucker, DouglasPeuckerPlus, DouglasPeuckerStar, SimplificationMethod, Simplifier,
