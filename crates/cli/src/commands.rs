@@ -4,10 +4,13 @@
 
 use crate::args::{ArgError, ParsedArgs};
 use convoy_core::{
-    compare_result_sets, mc2, CmcEngine, ConvoyQuery, CutsConfig, CutsVariant, Discovery,
+    compare_result_sets, mc2, CmcEngine, CmcStats, ConvoyQuery, CutsConfig, CutsVariant, Discovery,
     Mc2Config, Method,
 };
-use traj_datasets::io::{read_csv_file, write_csv_file};
+use convoy_stream::{
+    feed_order_samples, replay_config, ConvoyStream, EvictionPolicy, FeedIngest, StreamConfig,
+};
+use traj_datasets::io::{parse_csv_line, read_csv_file, write_csv_file};
 use traj_datasets::{generate, DatasetProfile, ProfileName};
 use traj_simplify::{ReductionStats, SimplificationMethod, ToleranceMode};
 use trajectory::TrajectoryDatabase;
@@ -55,13 +58,25 @@ COMMANDS:
     stats     FILE
               Print Table-3-style statistics of a trajectory CSV.
     discover  FILE [--method cmc|cuts|cuts-plus|cuts-star] --m N --k N --e F
-              [--delta F] [--lambda N] [--global-tolerance]
+              [--delta F] [--lambda N] [--global-tolerance] [--stats]
               [--stream | --parallel [N] | --shards [N]]   (CMC engine:
               streamed sweep is the default; --parallel N partitions time
               across N worker threads; --shards N grid-shards space into N
               cells clustered on worker threads with boundary-halo exchange;
               N omitted or 0 uses every core)
               Run a convoy query and print the discovered convoys.
+              --stats additionally prints the CmcState fold counters.
+    stream    FILE|- --m N --k N --e F [--method cuts|cuts-plus|cuts-star]
+              [--delta F] [--lambda N] [--horizon H] [--max-candidates N]
+              [--limit N]
+              Streaming discovery: feed samples through the incremental
+              CuTS pipeline in time order, emitting convoys as they
+              confirm. FILE is replayed in time order; `-` reads a live
+              `object_id,t,x,y` feed from stdin (requires explicit
+              --delta and --lambda; malformed and out-of-order lines are
+              rejected and counted, not fatal). --horizon H evicts chains
+              older than H ticks and refuses to bridge feed gaps larger
+              than H.
     simplify  FILE --delta F [--method dp|dp-plus|dp-star]
               Report the vertex reduction of trajectory simplification.
     compare   FILE --m N --k N --e F [--theta F]
@@ -212,6 +227,15 @@ pub fn stats_command(args: &ParsedArgs) -> Result<String, CommandError> {
     ))
 }
 
+/// Renders a [`CmcStats`] block (the `--stats` output of `discover` and the
+/// summary of `stream`).
+fn format_fold_stats(stats: &CmcStats) -> String {
+    format!(
+        "stats: peak candidates {}, ticks ingested {}, gap closures {}, convoys closed {}",
+        stats.peak_candidates, stats.ticks_ingested, stats.gap_closures, stats.convoys_closed
+    )
+}
+
 /// `convoy discover`: run a convoy query on a CSV.
 pub fn discover_command(args: &ParsedArgs) -> Result<String, CommandError> {
     args.reject_unknown(&[
@@ -223,6 +247,7 @@ pub fn discover_command(args: &ParsedArgs) -> Result<String, CommandError> {
         "lambda",
         "global-tolerance",
         "limit",
+        "stats",
         "stream",
         "parallel",
         "shards",
@@ -295,12 +320,227 @@ pub fn discover_command(args: &ParsedArgs) -> Result<String, CommandError> {
             outcome.stats.reduction_percent
         ));
     }
+    if args.has_flag("stats") {
+        out.push_str(&format_fold_stats(&outcome.stats.fold));
+        out.push('\n');
+    }
     for convoy in outcome.convoys.iter().take(limit) {
         out.push_str(&format!("  {convoy}\n"));
     }
     if outcome.convoys.len() > limit {
         out.push_str(&format!("  … and {} more\n", outcome.convoys.len() - limit));
     }
+    Ok(out)
+}
+
+/// `convoy stream`: streaming discovery over a time-ordered feed.
+pub fn stream_command(args: &ParsedArgs) -> Result<String, CommandError> {
+    args.reject_unknown(&[
+        "method",
+        "m",
+        "k",
+        "e",
+        "delta",
+        "lambda",
+        "horizon",
+        "max-candidates",
+        "limit",
+    ])?;
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CommandError("missing input (CSV path or `-` for stdin)".into()))?
+        .clone();
+    let query = query_from_args(args)?;
+    let method = parse_method(args.get("method").unwrap_or("cuts"))?;
+    let Some(variant) = method.cuts_variant() else {
+        return Err(CommandError(
+            "streaming discovery runs the CuTS pipeline; pick --method cuts, cuts-plus or cuts-star"
+                .into(),
+        ));
+    };
+
+    let mut eviction = EvictionPolicy::unbounded();
+    if let Some(horizon) = args.get("horizon") {
+        let horizon: i64 = horizon
+            .parse()
+            .map_err(|_| CommandError(format!("cannot parse --horizon value `{horizon}`")))?;
+        if horizon < 1 {
+            return Err(CommandError("--horizon must be at least 1 tick".into()));
+        }
+        eviction = eviction.with_horizon(horizon);
+    }
+    if let Some(max) = args.get("max-candidates") {
+        let max: usize = max
+            .parse()
+            .map_err(|_| CommandError(format!("cannot parse --max-candidates value `{max}`")))?;
+        if max == 0 {
+            return Err(CommandError("--max-candidates must be positive".into()));
+        }
+        eviction = eviction.with_max_candidates(max);
+    }
+    let delta_arg: Option<f64> = match args.get("delta") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| CommandError(format!("cannot parse --delta value `{v}`")))?,
+        ),
+        None => None,
+    };
+    let lambda_arg: Option<usize> = match args.get("lambda") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| CommandError(format!("cannot parse --lambda value `{v}`")))?,
+        ),
+        None => None,
+    };
+    let limit: usize = args.get_parsed_or("limit", 50)?;
+
+    // Assemble the feed: a file is replayed in time order (with batch-style
+    // automatic δ/λ when not given); stdin is consumed line by line and
+    // needs both parameters up front.
+    let (config, samples) = if path == "-" {
+        let (Some(delta), Some(lambda)) = (delta_arg, lambda_arg) else {
+            return Err(CommandError(
+                "reading from stdin requires explicit --delta and --lambda \
+                 (automatic selection needs the whole database)"
+                    .into(),
+            ));
+        };
+        let config = StreamConfig::new(query, delta, lambda).with_variant(variant);
+        (config, None)
+    } else {
+        // Same δ/λ derivation and feed order as `ReplayStream` — the path
+        // the equivalence harness tests — taken wholesale so the CLI can
+        // never drift from it.
+        let db = read_csv_file(&path)?;
+        let mut cuts = CutsConfig::new(variant);
+        if let Some(delta) = delta_arg {
+            cuts = cuts.with_delta(delta);
+        }
+        if let Some(lambda) = lambda_arg {
+            cuts = cuts.with_lambda(lambda);
+        }
+        (
+            replay_config(&cuts, &db, &query),
+            Some(feed_order_samples(&db)),
+        )
+    };
+    let config = config.with_eviction(eviction);
+    let mut stream = ConvoyStream::new(config);
+
+    let mut out = format!(
+        "{path}: streaming discovery ({} m={} k={} e={} δ={:.2} λ={}{}{})\n",
+        variant,
+        query.m,
+        query.k,
+        query.e,
+        config.delta,
+        config.lambda,
+        eviction
+            .horizon
+            .map(|h| format!(" horizon={h}"))
+            .unwrap_or_default(),
+        eviction
+            .max_candidates
+            .map(|n| format!(" max-candidates={n}"))
+            .unwrap_or_default(),
+    );
+
+    let mut confirmed = 0usize;
+    let mut rejected = 0u64;
+    let mut emit = |stream: &mut ConvoyStream, out: &mut String| {
+        let watermark = stream.watermark().unwrap_or_default();
+        for convoy in stream.drain() {
+            if confirmed < limit {
+                out.push_str(&format!("  [t={watermark}] {convoy}\n"));
+            }
+            confirmed += 1;
+        }
+        // The CLI reports candidates only as a count; drop the queue so an
+        // unbounded session stays bounded.
+        stream.drain_candidates();
+    };
+
+    match samples {
+        Some(samples) => {
+            for (id, p) in samples {
+                stream
+                    .push(id, p.t, p.x, p.y)
+                    .expect("a sorted database replay is a valid feed");
+                emit(&mut stream, &mut out);
+            }
+        }
+        None => {
+            use std::io::{BufRead, Write};
+            // A live feed must see its convoys as they confirm, not at EOF:
+            // print confirmations immediately (a closed pipe is a normal way
+            // for the consumer to stop, mirroring main's BrokenPipe guard).
+            let live_print = |chunk: &str| {
+                if let Err(e) = std::io::stdout().write_all(chunk.as_bytes()) {
+                    // Same policy as main's report printing: a closed pipe is
+                    // a normal stop, anything else is a loud failure.
+                    if e.kind() == std::io::ErrorKind::BrokenPipe {
+                        std::process::exit(0);
+                    }
+                    eprintln!("error: cannot write output: {e}");
+                    std::process::exit(1);
+                }
+            };
+            // Header first, then confirmations as they happen; the returned
+            // report holds only the end-of-stream summary.
+            live_print(&out);
+            out.clear();
+            let stdin = std::io::stdin();
+            for (line_no, line) in stdin.lock().lines().enumerate() {
+                let line = line?;
+                // A long-lived session must survive one garbled line the
+                // same way it survives an out-of-order sample: reject,
+                // count, continue.
+                let parsed = match parse_csv_line(&line, line_no + 1) {
+                    Ok(Some(sample)) => sample,
+                    Ok(None) => continue,
+                    Err(_) => {
+                        rejected += 1;
+                        continue;
+                    }
+                };
+                let (id, t, x, y) = parsed;
+                if stream.push(id, t, x, y).is_err() {
+                    rejected += 1;
+                    continue;
+                }
+                emit(&mut stream, &mut out);
+                live_print(&out);
+                out.clear();
+            }
+        }
+    }
+
+    let outcome = stream.finish();
+    for convoy in outcome.convoys {
+        if confirmed < limit {
+            out.push_str(&format!("  [t=end] {convoy}\n"));
+        }
+        confirmed += 1;
+    }
+    if confirmed > limit {
+        out.push_str(&format!("  … and {} more\n", confirmed - limit));
+    }
+    out.push_str(&format!("confirmed convoys: {confirmed}\n"));
+    if rejected > 0 {
+        out.push_str(&format!("rejected samples: {rejected}\n"));
+    }
+    let stats = outcome.stats;
+    out.push_str(&format!(
+        "partitions closed: {}, filter candidates: {} (peak open {}), evicted: {}, peak samples buffered: {}\n",
+        stats.partitions_closed,
+        stats.filter_candidates,
+        stats.peak_filter_candidates,
+        stats.candidates_evicted,
+        stats.peak_samples_buffered,
+    ));
+    out.push_str(&format_fold_stats(&stats.fold));
+    out.push('\n');
     Ok(out)
 }
 
@@ -374,6 +614,7 @@ pub fn run(command: &str, args: &ParsedArgs) -> Result<String, CommandError> {
         "generate" => generate_command(args),
         "stats" => stats_command(args),
         "discover" => discover_command(args),
+        "stream" => stream_command(args),
         "simplify" => simplify_command(args),
         "compare" => compare_command(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),

@@ -212,6 +212,119 @@ fn discover_sharded_engine_end_to_end() {
 }
 
 #[test]
+fn discover_stats_flag_prints_fold_counters() {
+    let path = temp_path("discover-stats.csv");
+    convoy()
+        .args(["generate", "--profile", "truck", "--scale", "0.02"])
+        .args(["--seed", "11", "--out", path.to_str().unwrap()])
+        .assert()
+        .success();
+    convoy()
+        .args(["discover", path.to_str().unwrap()])
+        .args([
+            "--method", "cmc", "--m", "3", "--k", "5", "--e", "10", "--stats",
+        ])
+        .assert()
+        .success()
+        .stdout_contains("stats: peak candidates")
+        .stdout_contains("ticks ingested")
+        .stdout_contains("convoys closed");
+    // The counters come from the refinement fold for CuTS methods too.
+    convoy()
+        .args(["discover", path.to_str().unwrap()])
+        .args([
+            "--method",
+            "cuts-star",
+            "--m",
+            "3",
+            "--k",
+            "5",
+            "--e",
+            "10",
+            "--stats",
+        ])
+        .assert()
+        .success()
+        .stdout_contains("stats: peak candidates");
+}
+
+#[test]
+fn stream_replays_a_file_and_reports_stream_stats() {
+    let path = temp_path("stream-file.csv");
+    convoy()
+        .args(["generate", "--profile", "truck", "--scale", "0.02"])
+        .args(["--seed", "11", "--out", path.to_str().unwrap()])
+        .assert()
+        .success();
+    convoy()
+        .args(["stream", path.to_str().unwrap()])
+        .args(["--m", "3", "--k", "5", "--e", "10"])
+        .assert()
+        .success()
+        .stdout_contains("streaming discovery (CuTS")
+        .stdout_contains("confirmed convoys:")
+        .stdout_contains("partitions closed:")
+        .stdout_contains("stats: peak candidates");
+    // A horizon is accepted and echoed.
+    convoy()
+        .args(["stream", path.to_str().unwrap()])
+        .args(["--m", "3", "--k", "5", "--e", "10", "--horizon", "20"])
+        .assert()
+        .success()
+        .stdout_contains("horizon=20");
+}
+
+#[test]
+fn stream_reads_a_live_feed_from_stdin() {
+    let mut feed = String::from("object_id,t,x,y\n");
+    for t in 0..12 {
+        feed.push_str(&format!("1,{t},{t}.0,0.0\n"));
+        feed.push_str(&format!("2,{t},{t}.0,0.5\n"));
+    }
+    // One out-of-order straggler must be rejected, not fatal.
+    feed.push_str("3,0,9.0,9.0\n");
+    convoy()
+        .args(["stream", "-", "--m", "2", "--k", "4", "--e", "1"])
+        .args(["--delta", "0.2", "--lambda", "4"])
+        .write_stdin(feed)
+        .assert()
+        .success()
+        .stdout_contains("⟨{o1, o2}, [0, 11]⟩")
+        .stdout_contains("confirmed convoys: 1")
+        .stdout_contains("rejected samples: 1");
+}
+
+#[test]
+fn stream_validates_its_arguments() {
+    // CMC is not a streaming method.
+    convoy()
+        .args(["stream", "in.csv", "--m", "2", "--k", "2", "--e", "1"])
+        .args(["--method", "cmc"])
+        .assert()
+        .failure()
+        .code(1)
+        .stderr_contains("cuts");
+    // Stdin requires explicit δ and λ.
+    convoy()
+        .args(["stream", "-", "--m", "2", "--k", "2", "--e", "1"])
+        .write_stdin("")
+        .assert()
+        .failure()
+        .code(1)
+        .stderr_contains("--delta and --lambda");
+    // Bad horizon.
+    let path = temp_path("stream-bad.csv");
+    std::fs::write(&path, "object_id,t,x,y\n1,0,0.0,0.0\n").unwrap();
+    convoy()
+        .args(["stream", path.to_str().unwrap()])
+        .args(["--m", "2", "--k", "2", "--e", "1", "--horizon", "0"])
+        .assert()
+        .failure()
+        .code(1)
+        .stderr_contains("--horizon");
+}
+
+#[test]
 fn generate_stats_discover_pipeline_succeeds() {
     let path = temp_path("pipeline.csv");
     convoy()

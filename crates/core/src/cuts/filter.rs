@@ -7,11 +7,12 @@
 //! convoys, which the refinement step then verifies.
 
 use crate::candidate::CandidateConvoy;
+use crate::cuts::partition::{cluster_partition, CandidateChain, PartitionClusters};
 use crate::cuts::CutsConfig;
 use crate::params::{auto_delta, auto_lambda};
 use crate::query::ConvoyQuery;
 use serde::{Deserialize, Serialize};
-use traj_cluster::{cluster_sub_trajectories, Cluster, SubTrajectory};
+use traj_cluster::SubTrajectory;
 use traj_simplify::SimplifiedTrajectory;
 use trajectory::{ObjectId, TimePartition, TrajectoryDatabase};
 
@@ -22,6 +23,10 @@ pub struct FilterOutput {
     /// Candidate convoys (a superset of the true convoys, at partition
     /// granularity).
     pub candidates: Vec<CandidateConvoy>,
+    /// Every λ-partition's clusters, in window order — the per-tick object
+    /// coverage the refinement fold restricts its snapshots to
+    /// ([`crate::cuts::refine::refine_partitions`]).
+    pub partitions: Vec<PartitionClusters>,
     /// The simplification tolerance δ actually used.
     pub delta: f64,
     /// The partition length λ actually used.
@@ -77,6 +82,7 @@ pub fn filter_simplified(
     let Some(domain) = db.time_domain() else {
         return FilterOutput {
             candidates: Vec::new(),
+            partitions: Vec::new(),
             delta,
             lambda,
             original_points,
@@ -88,8 +94,11 @@ pub fn filter_simplified(
     let mode = config.tolerance_mode;
     let partition = TimePartition::new(domain, lambda as i64);
 
-    let mut candidates: Vec<CandidateConvoy> = Vec::new();
-    let mut current: Vec<CandidateConvoy> = Vec::new();
+    // The partition loop proper lives in `cuts::partition`, shared with the
+    // streaming filter: cluster each λ-partition's sub-trajectories, fold the
+    // clusters into candidate chains.
+    let mut partitions: Vec<PartitionClusters> = Vec::with_capacity(partition.len());
+    let mut chain = CandidateChain::new(query);
 
     for window in partition.iter() {
         // Collect the sub-trajectories of every object present in this
@@ -98,46 +107,14 @@ pub fn filter_simplified(
             .iter()
             .filter_map(|(id, s)| SubTrajectory::for_window(*id, s, window))
             .collect();
-
-        let clusters: Vec<Cluster> = if items.len() < query.m {
-            Vec::new()
-        } else {
-            cluster_sub_trajectories(&items, query.e, query.m, distance, mode)
-        };
-
-        let mut next: Vec<CandidateConvoy> = Vec::new();
-        let mut cluster_assigned = vec![false; clusters.len()];
-
-        for candidate in &current {
-            let mut extended = false;
-            for (ci, cluster) in clusters.iter().enumerate() {
-                if let Some(grown) = candidate.extend_with(cluster, window.end, query.m) {
-                    extended = true;
-                    cluster_assigned[ci] = true;
-                    next.push(grown);
-                }
-            }
-            if !extended && candidate.lifetime() >= query.k as i64 {
-                candidates.push(candidate.clone());
-            }
-        }
-
-        for (ci, cluster) in clusters.into_iter().enumerate() {
-            if !cluster_assigned[ci] {
-                next.push(CandidateConvoy::new(cluster, window.start, window.end));
-            }
-        }
-        current = next;
-    }
-
-    for candidate in current {
-        if candidate.lifetime() >= query.k as i64 {
-            candidates.push(candidate);
-        }
+        let clustered = cluster_partition(window, &items, query, distance, mode);
+        chain.fold(&clustered);
+        partitions.push(clustered);
     }
 
     FilterOutput {
-        candidates,
+        candidates: chain.finish(),
+        partitions,
         delta,
         lambda,
         original_points,

@@ -12,6 +12,7 @@
 //! | `CuTS*`  | DP*            | `D*`             | Lemma 3        |
 
 pub mod filter;
+pub mod partition;
 pub mod refine;
 
 use serde::{Deserialize, Serialize};

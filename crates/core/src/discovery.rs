@@ -3,7 +3,7 @@
 //! with the statistics the benchmark harness consumes.
 
 use crate::cuts::filter::{filter_simplified, simplify_database};
-use crate::cuts::refine::refine;
+use crate::cuts::refine::refine_partitions;
 use crate::cuts::{CutsConfig, CutsVariant};
 use crate::engine::CmcEngine;
 use crate::metrics::{refinement_unit, DiscoveryStats, StageTimings};
@@ -136,13 +136,14 @@ impl Discovery {
         match self.method {
             Method::Cmc => {
                 let started = Instant::now();
-                let raw = self.cmc_engine.run(db, query);
+                let (raw, fold) = self.cmc_engine.run_with_stats(db, query);
                 let filter_time = started.elapsed();
                 let convoys = normalize_convoys(raw, query);
                 DiscoveryOutcome {
                     method: self.method,
                     stats: DiscoveryStats {
                         num_convoys: convoys.len(),
+                        fold,
                         ..DiscoveryStats::default()
                     },
                     convoys,
@@ -165,9 +166,12 @@ impl Discovery {
                 let output = filter_simplified(&simplified, db, query, &self.config, delta);
                 let filter_time = filter_started.elapsed();
 
-                // Stage 3: refinement (windowed CMC per candidate).
+                // Stage 3: refinement — the coverage-restricted CmcState
+                // fold over the partition clusters (shared with the
+                // streaming pipeline; see `cuts::refine` for the exactness
+                // argument).
                 let refine_started = Instant::now();
-                let raw = refine(db, query, &output.candidates);
+                let (raw, fold) = refine_partitions(db, query, &output.partitions);
                 let refinement = refine_started.elapsed();
 
                 let convoys = normalize_convoys(raw, query);
@@ -180,6 +184,7 @@ impl Discovery {
                         delta: output.delta,
                         lambda: output.lambda,
                         reduction_percent: output.reduction_percent(),
+                        fold,
                     },
                     convoys,
                     timings: StageTimings {

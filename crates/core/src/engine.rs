@@ -236,11 +236,79 @@ impl CmcState {
         std::mem::take(&mut self.closed)
     }
 
+    /// Force-closes every open candidate whose lifetime has reached
+    /// `max_lifetime` ticks, reporting the ones that satisfy `k`. Returns the
+    /// number of candidates closed.
+    ///
+    /// This is the horizon half of windowed eviction on an unbounded feed:
+    /// called *before* a tick extends the chains, it guarantees no open (and
+    /// hence no reported) chain ever exceeds `max_lifetime` ticks, bounding
+    /// both memory and result latency. A candidate at exactly the horizon is
+    /// closed intact, not dropped.
+    pub fn evict_longer_than(&mut self, max_lifetime: i64) -> usize {
+        let k = self.query.k as i64;
+        let current = std::mem::take(&mut self.current);
+        let mut evicted = 0;
+        for candidate in current {
+            if candidate.lifetime() >= max_lifetime {
+                evicted += 1;
+                if candidate.lifetime() >= k {
+                    self.closed.push(candidate.into_convoy());
+                    self.convoys_closed += 1;
+                }
+            } else {
+                self.current.push(candidate);
+            }
+        }
+        evicted
+    }
+
+    /// Force-closes the oldest open candidates (smallest start, ties broken
+    /// by insertion order) until at most `max_candidates` remain, reporting
+    /// the ones that satisfy `k`. Returns the number closed.
+    ///
+    /// This is the backpressure half of windowed eviction: a burst of
+    /// overlapping clusters cannot grow the working set beyond the
+    /// configured bound.
+    pub fn evict_to_capacity(&mut self, max_candidates: usize) -> usize {
+        if self.current.len() <= max_candidates {
+            return 0;
+        }
+        let excess = self.current.len() - max_candidates;
+        // Indices of the `excess` oldest candidates, deterministic under ties.
+        let mut by_age: Vec<usize> = (0..self.current.len()).collect();
+        by_age.sort_by_key(|&i| (self.current[i].start, i));
+        let mut doomed = vec![false; self.current.len()];
+        for &i in by_age.iter().take(excess) {
+            doomed[i] = true;
+        }
+        let k = self.query.k as i64;
+        let current = std::mem::take(&mut self.current);
+        for (i, candidate) in current.into_iter().enumerate() {
+            if doomed[i] {
+                if candidate.lifetime() >= k {
+                    self.closed.push(candidate.into_convoy());
+                    self.convoys_closed += 1;
+                }
+            } else {
+                self.current.push(candidate);
+            }
+        }
+        excess
+    }
+
     /// Ends the stream: flushes candidates still open (the window boundary
     /// closes them) and returns every convoy not yet drained.
-    pub fn finish(mut self) -> Vec<Convoy> {
+    pub fn finish(self) -> Vec<Convoy> {
+        self.finish_with_stats().0
+    }
+
+    /// Like [`CmcState::finish`], but also returns the state's lifetime
+    /// counters (which include the convoys closed by this final flush).
+    pub fn finish_with_stats(mut self) -> (Vec<Convoy>, CmcStats) {
         self.close_all_candidates();
-        self.closed
+        let stats = self.stats();
+        (self.closed, stats)
     }
 }
 
@@ -331,33 +399,57 @@ impl CmcEngine {
         query: &ConvoyQuery,
         window: TimeInterval,
     ) -> Vec<Convoy> {
+        self.run_windowed_with_stats(db, query, window).0
+    }
+
+    /// Like [`CmcEngine::run_windowed`], but also returns the counters of the
+    /// [`CmcState`] fold that produced the result — every engine, the
+    /// parallel and sharded drivers included, folds through exactly one
+    /// state machine, so the counters are engine-independent.
+    pub fn run_windowed_with_stats(
+        &self,
+        db: &TrajectoryDatabase,
+        query: &ConvoyQuery,
+        window: TimeInterval,
+    ) -> (Vec<Convoy>, CmcStats) {
         match *self {
             CmcEngine::PerTick => {
                 let mut state = CmcState::new(query);
                 for t in window.iter() {
                     state.ingest_snapshot(&db.snapshot(t, SnapshotPolicy::Interpolate));
                 }
-                state.finish()
+                state.finish_with_stats()
             }
             CmcEngine::Swept => {
                 let mut state = CmcState::new(query);
                 for snapshot in SnapshotSweep::new(db, window, SnapshotPolicy::Interpolate) {
                     state.ingest_snapshot(&snapshot);
                 }
-                state.finish()
+                state.finish_with_stats()
             }
-            CmcEngine::Parallel { threads } => cmc_parallel_windowed(db, query, window, threads),
+            CmcEngine::Parallel { threads } => {
+                cmc_parallel_windowed_with_stats(db, query, window, threads)
+            }
             CmcEngine::Sharded { shards } => {
-                crate::shard::cmc_sharded_windowed(db, query, window, shards)
+                crate::shard::cmc_sharded_windowed_with_stats(db, query, window, shards)
             }
         }
     }
 
     /// Runs CMC over the whole time domain of `db` with this engine.
     pub fn run(&self, db: &TrajectoryDatabase, query: &ConvoyQuery) -> Vec<Convoy> {
+        self.run_with_stats(db, query).0
+    }
+
+    /// Like [`CmcEngine::run`], but also returns the fold counters.
+    pub fn run_with_stats(
+        &self,
+        db: &TrajectoryDatabase,
+        query: &ConvoyQuery,
+    ) -> (Vec<Convoy>, CmcStats) {
         match db.time_domain() {
-            Some(window) => self.run_windowed(db, query, window),
-            None => Vec::new(),
+            Some(window) => self.run_windowed_with_stats(db, query, window),
+            None => (Vec::new(), CmcStats::default()),
         }
     }
 }
@@ -399,9 +491,20 @@ pub fn cmc_parallel_windowed(
     window: TimeInterval,
     threads: usize,
 ) -> Vec<Convoy> {
+    cmc_parallel_windowed_with_stats(db, query, window, threads).0
+}
+
+/// Like [`cmc_parallel_windowed`], but also returns the stitching fold's
+/// counters.
+pub fn cmc_parallel_windowed_with_stats(
+    db: &TrajectoryDatabase,
+    query: &ConvoyQuery,
+    window: TimeInterval,
+    threads: usize,
+) -> (Vec<Convoy>, CmcStats) {
     let partitions = split_window(window, resolve_threads(threads));
     if partitions.len() <= 1 {
-        return CmcEngine::Swept.run_windowed(db, query, window);
+        return CmcEngine::Swept.run_windowed_with_stats(db, query, window);
     }
 
     let clustered: Vec<Vec<(TimePoint, Vec<Cluster>)>> = std::thread::scope(|scope| {
@@ -437,7 +540,7 @@ pub fn cmc_parallel_windowed(
             state.ingest_clusters(*t, clusters);
         }
     }
-    state.finish()
+    state.finish_with_stats()
 }
 
 /// Runs [`cmc_parallel_windowed`] over the whole time domain of `db`.
@@ -691,6 +794,70 @@ mod tests {
         // Counters survive a drain.
         assert_eq!(state.drain_closed().len(), 2);
         assert_eq!(state.stats().convoys_closed, 2);
+    }
+
+    #[test]
+    fn evict_longer_than_closes_aged_chains_before_they_extend() {
+        let query = ConvoyQuery::new(2, 2, 1.0);
+        let mut state = CmcState::new(&query);
+        let horizon = 3i64;
+        for t in 0..6 {
+            assert_eq!(
+                state.evict_longer_than(horizon),
+                usize::from(t == horizon),
+                "the chain reaches the horizon exactly at t=3 and restarts there"
+            );
+            state.ingest_clusters(t, &[cluster(&[1, 2])]);
+        }
+        let convoys = state.finish();
+        // [0,2] closed by the horizon, [3,5] closed by the final flush:
+        // no reported chain ever exceeds `horizon` ticks.
+        assert_eq!(convoys.len(), 2);
+        assert_eq!(convoys[0].interval(), TimeInterval::new(0, 2));
+        assert_eq!(convoys[1].interval(), TimeInterval::new(3, 5));
+        assert!(convoys.iter().all(|c| c.lifetime() <= horizon));
+    }
+
+    #[test]
+    fn evict_longer_than_drops_short_chains_without_reporting() {
+        // k = 5 but the horizon is 2: the chain is cut before qualifying.
+        let query = ConvoyQuery::new(2, 5, 1.0);
+        let mut state = CmcState::new(&query);
+        for t in 0..4 {
+            state.evict_longer_than(2);
+            state.ingest_clusters(t, &[cluster(&[1, 2])]);
+        }
+        let (convoys, stats) = state.finish_with_stats();
+        assert!(convoys.is_empty());
+        assert_eq!(stats.convoys_closed, 0);
+    }
+
+    #[test]
+    fn evict_to_capacity_closes_the_oldest_chains() {
+        let query = ConvoyQuery::new(2, 1, 1.0);
+        let mut state = CmcState::new(&query);
+        state.ingest_clusters(0, &[cluster(&[1, 2])]);
+        state.ingest_clusters(
+            1,
+            &[cluster(&[1, 2, 3]), cluster(&[4, 5]), cluster(&[6, 7])],
+        );
+        assert_eq!(state.active_candidates(), 3);
+        assert_eq!(state.evict_to_capacity(3), 0, "already within capacity");
+        assert_eq!(state.evict_to_capacity(1), 2);
+        assert_eq!(state.active_candidates(), 1);
+        let closed = state.drain_closed();
+        // The start-0 chain is oldest; the tie between the two start-1
+        // chains breaks by insertion order.
+        assert_eq!(closed.len(), 2);
+        assert_eq!(closed[0].start, 0);
+        assert_eq!(closed[0].objects, cluster(&[1, 2]));
+        assert_eq!(closed[1].interval(), TimeInterval::new(1, 1));
+        assert_eq!(closed[1].objects, cluster(&[4, 5]));
+        // The survivor keeps extending.
+        state.ingest_clusters(2, &[cluster(&[6, 7])]);
+        let convoys = state.finish();
+        assert_eq!(convoys.len(), 1);
+        assert_eq!(convoys[0].objects, cluster(&[6, 7]));
     }
 
     #[test]

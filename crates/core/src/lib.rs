@@ -65,6 +65,8 @@ pub mod shard;
 
 pub use candidate::CandidateConvoy;
 pub use cmc::{cmc, cmc_windowed};
+pub use cuts::partition::{cluster_partition, CandidateChain, PartitionClusters};
+pub use cuts::refine::{refine_partitions, restrict_snapshot, FoldOutcome, RefineFold};
 pub use cuts::{CutsConfig, CutsVariant};
 pub use discovery::{Discovery, DiscoveryOutcome, Method};
 pub use engine::{cmc_parallel, cmc_parallel_windowed, CmcEngine, CmcState, CmcStats};

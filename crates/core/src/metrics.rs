@@ -2,6 +2,7 @@
 //! *refinement unit* cost model used by the paper's Figures 16 and 17.
 
 use crate::candidate::CandidateConvoy;
+use crate::engine::CmcStats;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -42,6 +43,10 @@ pub struct DiscoveryStats {
     pub lambda: usize,
     /// Vertex reduction of the simplification step in percent (0 for CMC).
     pub reduction_percent: f64,
+    /// Counters of the [`crate::engine::CmcState`] fold that produced the
+    /// result: the whole run for CMC, the coverage-restricted refinement
+    /// fold for the CuTS family.
+    pub fold: CmcStats,
 }
 
 /// The *refinement unit* of a set of candidates (Section 7.3): for each

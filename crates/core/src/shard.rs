@@ -83,10 +83,21 @@ pub fn cmc_sharded_windowed(
     window: TimeInterval,
     shards: usize,
 ) -> Vec<Convoy> {
+    cmc_sharded_windowed_with_stats(db, query, window, shards).0
+}
+
+/// Like [`cmc_sharded_windowed`], but also returns the coordinator fold's
+/// counters.
+pub fn cmc_sharded_windowed_with_stats(
+    db: &TrajectoryDatabase,
+    query: &ConvoyQuery,
+    window: TimeInterval,
+    shards: usize,
+) -> (Vec<Convoy>, crate::engine::CmcStats) {
     let shard_count = resolved_shard_count(shards);
     let bounds = match world_bounds(db) {
         Some(bounds) if shard_count > 1 => bounds,
-        _ => return CmcEngine::Swept.run_windowed(db, query, window),
+        _ => return CmcEngine::Swept.run_windowed_with_stats(db, query, window),
     };
     let grid = ShardGrid::new(bounds, shard_count);
     let shard_count = grid.num_shards();
@@ -135,7 +146,7 @@ pub fn cmc_sharded_windowed(
         let clusters = merge_shard_clusters(per_worker.iter().flat_map(|worker| worker[i].iter()));
         state.ingest_clusters(snapshot.time, &clusters);
     }
-    state.finish()
+    state.finish_with_stats()
 }
 
 /// Runs [`cmc_sharded_windowed`] over the whole time domain of `db`.

@@ -29,6 +29,40 @@ pub fn write_csv_file<P: AsRef<Path>>(db: &TrajectoryDatabase, path: P) -> std::
     write_csv(db, std::io::BufWriter::new(file))
 }
 
+/// Parses one CSV line into an `(object_id, t, x, y)` sample.
+///
+/// Returns `Ok(None)` for skippable lines: blanks, `#` comments, and a
+/// header on line 1 (detected by a non-numeric timestamp field). Exposed so
+/// line-at-a-time consumers — the CLI's stdin streaming mode — share the
+/// exact grammar of [`read_csv`].
+pub fn parse_csv_line(line: &str, line_no: usize) -> Result<Option<(ObjectId, i64, f64, f64)>> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+    if fields.len() != 4 {
+        return Err(TrajectoryError::Parse {
+            line: line_no,
+            message: format!("expected 4 fields, found {}", fields.len()),
+        });
+    }
+    // Header detection: skip the first line when its timestamp field is
+    // not numeric.
+    if line_no == 1 && fields[1].parse::<i64>().is_err() {
+        return Ok(None);
+    }
+    let parse_err = |what: &str| TrajectoryError::Parse {
+        line: line_no,
+        message: format!("cannot parse {what}"),
+    };
+    let id: u64 = fields[0].parse().map_err(|_| parse_err("object_id"))?;
+    let t: i64 = fields[1].parse().map_err(|_| parse_err("t"))?;
+    let x: f64 = fields[2].parse().map_err(|_| parse_err("x"))?;
+    let y: f64 = fields[3].parse().map_err(|_| parse_err("y"))?;
+    Ok(Some((ObjectId(id), t, x, y)))
+}
+
 /// Reads a database from CSV (`object_id,t,x,y`). A header line (any line
 /// whose second field does not parse as an integer) is skipped. Samples may
 /// appear in any order; duplicate `(object, t)` samples keep the last
@@ -43,31 +77,9 @@ pub fn read_csv<R: Read>(reader: R) -> Result<TrajectoryDatabase> {
             line: line_no,
             message: e.to_string(),
         })?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
+        if let Some((id, t, x, y)) = parse_csv_line(&line, line_no)? {
+            builders.entry(id).or_default().add(x, y, t);
         }
-        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
-        if fields.len() != 4 {
-            return Err(TrajectoryError::Parse {
-                line: line_no,
-                message: format!("expected 4 fields, found {}", fields.len()),
-            });
-        }
-        // Header detection: skip the first line when its timestamp field is
-        // not numeric.
-        if line_no == 1 && fields[1].parse::<i64>().is_err() {
-            continue;
-        }
-        let parse_err = |what: &str| TrajectoryError::Parse {
-            line: line_no,
-            message: format!("cannot parse {what}"),
-        };
-        let id: u64 = fields[0].parse().map_err(|_| parse_err("object_id"))?;
-        let t: i64 = fields[1].parse().map_err(|_| parse_err("t"))?;
-        let x: f64 = fields[2].parse().map_err(|_| parse_err("x"))?;
-        let y: f64 = fields[3].parse().map_err(|_| parse_err("y"))?;
-        builders.entry(ObjectId(id)).or_default().add(x, y, t);
     }
 
     let mut db = TrajectoryDatabase::new();
@@ -151,5 +163,19 @@ mod tests {
     #[test]
     fn missing_file_is_a_parse_error() {
         assert!(read_csv_file("/nonexistent/convoy.csv").is_err());
+    }
+
+    #[test]
+    fn parse_csv_line_handles_all_line_shapes() {
+        assert_eq!(
+            parse_csv_line("3, 7, 1.5, -2.5", 4).unwrap(),
+            Some((ObjectId(3), 7, 1.5, -2.5))
+        );
+        assert_eq!(parse_csv_line("", 2).unwrap(), None);
+        assert_eq!(parse_csv_line("# comment", 2).unwrap(), None);
+        // A header skips only on line 1.
+        assert_eq!(parse_csv_line("object_id,t,x,y", 1).unwrap(), None);
+        assert!(parse_csv_line("object_id,t,x,y", 2).is_err());
+        assert!(parse_csv_line("1,2,3", 5).is_err());
     }
 }

@@ -1,0 +1,104 @@
+//! Sliding-window simplification for streaming ingest.
+//!
+//! Batch CuTS simplifies every trajectory once, over all of its samples.
+//! A streaming pipeline cannot: a λ-partition must be clustered as soon as
+//! the feed watermark passes it, long before the object's trajectory is
+//! complete. [`SlidingDp`] is the incremental entry point: it runs the
+//! configured simplifier (DP, DP+ or DP*) over a *window buffer* — the
+//! samples an object accumulated for one λ-partition, including the
+//! bracketing samples just outside it — and closes the window into a
+//! [`SimplifiedTrajectory`] with per-segment actual tolerances.
+//!
+//! The result is a valid δ-simplification of the buffered polyline, so every
+//! filter-step distance bound (Lemmas 1–3) holds for it. It is *not*, in
+//! general, identical to the corresponding stretch of the batch
+//! simplification: DP's split points depend on samples outside the window.
+//! That divergence is what the streaming refinement stage is designed to
+//! absorb (see `convoy_stream`), and why the streaming correctness contract
+//! is phrased about refinement output, not filter candidates.
+
+use crate::simplified::SimplifiedTrajectory;
+use crate::traits::SimplificationMethod;
+use trajectory::{TrajPoint, Trajectory};
+
+/// An incremental simplifier: one configured method + tolerance, applied to
+/// window buffers as their λ-partitions complete.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlidingDp {
+    /// The simplification algorithm to run per window.
+    pub method: SimplificationMethod,
+    /// The tolerance δ (also recorded as each output's global tolerance).
+    pub delta: f64,
+}
+
+impl SlidingDp {
+    /// Creates a sliding simplifier for `method` with tolerance `delta`.
+    pub fn new(method: SimplificationMethod, delta: f64) -> Self {
+        SlidingDp { method, delta }
+    }
+
+    /// Closes one window buffer: simplifies the buffered samples with the
+    /// configured method and tolerance.
+    ///
+    /// The buffer must be non-empty, time-sorted and free of duplicate
+    /// timestamps (the shape a validated feed produces per object). Returns
+    /// `None` for an empty buffer rather than panicking, since an object may
+    /// contribute nothing to a partition.
+    pub fn close_window(&self, buffer: &[TrajPoint]) -> Option<SimplifiedTrajectory> {
+        if buffer.is_empty() {
+            return None;
+        }
+        let trajectory = Trajectory::from_points(buffer.to_vec())
+            .expect("window buffers are validated sample runs");
+        Some(self.method.simplify(&trajectory, self.delta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::Simplifier;
+    use crate::DouglasPeucker;
+
+    fn buffer(pts: &[(f64, f64, i64)]) -> Vec<TrajPoint> {
+        pts.iter()
+            .map(|&(x, y, t)| TrajPoint::new(x, y, t))
+            .collect()
+    }
+
+    #[test]
+    fn window_simplification_matches_direct_simplification() {
+        let pts = buffer(&[
+            (0.0, 0.0, 0),
+            (1.0, 0.1, 1),
+            (2.0, -0.1, 2),
+            (3.0, 2.5, 3),
+            (4.0, 0.0, 4),
+        ]);
+        let sliding = SlidingDp::new(SimplificationMethod::Dp, 0.5);
+        let windowed = sliding.close_window(&pts).unwrap();
+        let direct = DouglasPeucker.simplify(&Trajectory::from_points(pts).unwrap(), 0.5);
+        assert_eq!(windowed, direct);
+        assert_eq!(windowed.global_tolerance(), 0.5);
+    }
+
+    #[test]
+    fn every_method_closes_windows() {
+        let pts = buffer(&[(0.0, 0.0, 0), (1.0, 1.0, 2), (2.0, 0.0, 5)]);
+        for method in SimplificationMethod::ALL {
+            let s = SlidingDp::new(method, 10.0).close_window(&pts).unwrap();
+            assert_eq!(s.points().first().unwrap().t, 0);
+            assert_eq!(s.points().last().unwrap().t, 5);
+            assert!(s.max_actual_tolerance() <= 10.0);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_sample_windows() {
+        let sliding = SlidingDp::new(SimplificationMethod::Dp, 1.0);
+        assert!(sliding.close_window(&[]).is_none());
+        let s = sliding.close_window(&buffer(&[(3.0, 4.0, 7)])).unwrap();
+        assert_eq!(s.num_points(), 1);
+        assert!(s.segments().is_empty());
+    }
+}

@@ -40,6 +40,7 @@
 pub mod dp;
 pub mod dp_plus;
 pub mod dp_star;
+pub mod incremental;
 pub mod select;
 pub mod simplified;
 pub mod tolerance;
@@ -48,6 +49,7 @@ pub mod traits;
 pub use dp::DouglasPeucker;
 pub use dp_plus::DouglasPeuckerPlus;
 pub use dp_star::DouglasPeuckerStar;
+pub use incremental::SlidingDp;
 pub use select::{select_delta, select_delta_for_database, select_lambda, DeltaSelection};
 pub use simplified::{SimplifiedSegment, SimplifiedTrajectory, ToleranceMetric};
 pub use tolerance::{ReductionStats, ToleranceMode};

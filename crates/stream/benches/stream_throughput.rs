@@ -1,0 +1,48 @@
+//! Criterion bench: replayed-stream discovery against batch CuTS wall time
+//! on the generated dataset profiles.
+//!
+//! The streaming pipeline re-simplifies per λ-partition and re-extracts
+//! positions from its ingest buffers, so a replay is expected to trail the
+//! batch run by a small factor; the interesting number is how small that
+//! factor stays as the dataset grows (the stream's work per sample is
+//! bounded by design). Scale with `CONVOY_BENCH_SCALE` (default 0.05).
+
+use convoy_core::{ConvoyQuery, Discovery, Method};
+use convoy_stream::ReplayStream;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use traj_datasets::{generate, DatasetProfile, ProfileName};
+
+fn bench_scale() -> f64 {
+    std::env::var("CONVOY_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.05)
+}
+
+fn bench_stream_throughput(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("stream_throughput");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for name in ProfileName::ALL {
+        let profile = DatasetProfile::named(name).scaled(scale);
+        let data = generate(&profile, 20080824);
+        let query = ConvoyQuery::new(profile.m, profile.k, profile.e);
+        let discovery = Discovery::new(Method::Cuts);
+        group.bench_with_input(
+            BenchmarkId::new("batch-cuts", name.name()),
+            &data.database,
+            |b, db| b.iter(|| discovery.run(db, &query)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("replayed-stream", name.name()),
+            &data.database,
+            |b, db| b.iter(|| discovery.replay_stream(db, &query)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream_throughput);
+criterion_main!(benches);

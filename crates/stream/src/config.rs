@@ -1,0 +1,180 @@
+//! Configuration and observability types of the streaming pipeline.
+
+use convoy_core::{CmcStats, ConvoyQuery, CutsVariant};
+use serde::{Deserialize, Serialize};
+use traj_simplify::ToleranceMode;
+use trajectory::TimePoint;
+
+/// Windowed-eviction policy of a [`crate::ConvoyStream`].
+///
+/// Both knobs bound the stream's working set on an unbounded feed; both
+/// default to unbounded, in which case replaying a finite database is
+/// bit-identical to the batch pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EvictionPolicy {
+    /// Maximum age in ticks. Three effects, one knob:
+    ///
+    /// * a refinement chain that has lived `horizon` ticks is closed (and
+    ///   reported, if it satisfies `k`) before the next tick would extend it,
+    ///   so no reported convoy ever exceeds `horizon` ticks;
+    /// * an object silent for more than `horizon` ticks is *severed*: its
+    ///   later samples never interpolate across the silence, so no convoy
+    ///   bridges a feed gap larger than the horizon;
+    /// * a λ-partition stops waiting for a silent object once the watermark
+    ///   is more than `horizon` ticks past the object's last sample, which
+    ///   bounds the stream's result latency.
+    ///
+    /// `None` means unbounded: chains live forever, any sample gap is
+    /// interpolated (the batch semantics), and a partition only closes when
+    /// every known object has reported past it (or the stream finishes).
+    pub horizon: Option<TimePoint>,
+    /// Maximum number of simultaneously open refinement chains. When a tick
+    /// pushes the working set past the bound, the oldest chains are closed
+    /// mid-tick (and reported if they satisfy `k`). `None` means unbounded.
+    pub max_candidates: Option<usize>,
+}
+
+impl EvictionPolicy {
+    /// No eviction: the configuration under which a finite replay is
+    /// bit-identical to batch CuTS.
+    pub fn unbounded() -> Self {
+        EvictionPolicy::default()
+    }
+
+    /// Sets the age horizon in ticks.
+    #[must_use]
+    pub fn with_horizon(mut self, horizon: TimePoint) -> Self {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    /// Sets the open-chain capacity.
+    #[must_use]
+    pub fn with_max_candidates(mut self, max_candidates: usize) -> Self {
+        self.max_candidates = Some(max_candidates);
+        self
+    }
+}
+
+/// Configuration of a [`crate::ConvoyStream`].
+///
+/// Unlike the batch [`convoy_core::CutsConfig`], δ and λ are mandatory: the
+/// automatic Section 7.4 guidelines need the whole database, which a live
+/// feed does not have. [`crate::ReplayStream`] derives them the batch way
+/// when replaying a finite database.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// The convoy query to answer.
+    pub query: ConvoyQuery,
+    /// The CuTS variant whose simplifier and segment distance the
+    /// incremental filter uses.
+    pub variant: CutsVariant,
+    /// Simplification tolerance δ for the sliding-window DP.
+    pub delta: f64,
+    /// λ-partition length in time points (clamped to at least 2, matching
+    /// [`trajectory::TimePartition`]).
+    pub lambda: usize,
+    /// Tolerance mode of the filter's range searches.
+    pub tolerance_mode: ToleranceMode,
+    /// The windowed-eviction policy.
+    pub eviction: EvictionPolicy,
+}
+
+impl StreamConfig {
+    /// Creates a CuTS-variant stream configuration with no eviction.
+    pub fn new(query: ConvoyQuery, delta: f64, lambda: usize) -> Self {
+        StreamConfig {
+            query,
+            variant: CutsVariant::Cuts,
+            delta,
+            lambda: lambda.max(2),
+            tolerance_mode: ToleranceMode::Actual,
+            eviction: EvictionPolicy::unbounded(),
+        }
+    }
+
+    /// Selects the CuTS variant.
+    #[must_use]
+    pub fn with_variant(mut self, variant: CutsVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Selects the tolerance mode of the filter's range searches.
+    #[must_use]
+    pub fn with_tolerance_mode(mut self, mode: ToleranceMode) -> Self {
+        self.tolerance_mode = mode;
+        self
+    }
+
+    /// Sets the eviction policy.
+    #[must_use]
+    pub fn with_eviction(mut self, eviction: EvictionPolicy) -> Self {
+        self.eviction = eviction;
+        self
+    }
+
+    /// The partition step in ticks (consecutive partitions share a boundary
+    /// point, so a λ-point partition advances by λ − 1).
+    pub(crate) fn step(&self) -> i64 {
+        self.lambda as i64 - 1
+    }
+}
+
+/// Lifetime counters of a [`crate::ConvoyStream`], built on the refinement
+/// fold's [`CmcStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StreamStats {
+    /// Counters of the refinement [`convoy_core::CmcState`] fold: peak open
+    /// candidates, ticks ingested, gap closures, convoys closed. With an
+    /// unbounded policy these agree bit-for-bit with the batch refinement
+    /// fold's counters on a replay.
+    pub fold: CmcStats,
+    /// λ-partitions closed (clustered and folded) so far.
+    pub partitions_closed: u64,
+    /// Coarse filter candidates closed by the incremental filter's candidate
+    /// chain (lifetime-qualifying ones, the same population batch
+    /// [`convoy_core::cuts::filter::FilterOutput::candidates`] counts).
+    pub filter_candidates: u64,
+    /// Largest number of simultaneously open coarse filter chains.
+    pub peak_filter_candidates: usize,
+    /// Chains force-closed by the eviction policy (refinement and coarse
+    /// filter chains combined).
+    pub candidates_evicted: u64,
+    /// Samples currently buffered across all objects.
+    pub samples_buffered: usize,
+    /// Largest number of samples ever buffered at once.
+    pub peak_samples_buffered: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eviction_policy_builders() {
+        let policy = EvictionPolicy::unbounded();
+        assert_eq!(policy.horizon, None);
+        assert_eq!(policy.max_candidates, None);
+        let policy = EvictionPolicy::unbounded()
+            .with_horizon(50)
+            .with_max_candidates(1000);
+        assert_eq!(policy.horizon, Some(50));
+        assert_eq!(policy.max_candidates, Some(1000));
+    }
+
+    #[test]
+    fn config_clamps_lambda_and_chains_builders() {
+        let query = ConvoyQuery::new(3, 5, 1.0);
+        let config = StreamConfig::new(query, 0.5, 0)
+            .with_variant(CutsVariant::CutsStar)
+            .with_tolerance_mode(ToleranceMode::Global)
+            .with_eviction(EvictionPolicy::unbounded().with_horizon(9));
+        assert_eq!(config.lambda, 2);
+        assert_eq!(config.step(), 1);
+        assert_eq!(config.variant, CutsVariant::CutsStar);
+        assert_eq!(config.tolerance_mode, ToleranceMode::Global);
+        assert_eq!(config.eviction.horizon, Some(9));
+        assert_eq!(StreamConfig::new(query, 0.5, 8).step(), 7);
+    }
+}

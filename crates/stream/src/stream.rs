@@ -1,0 +1,500 @@
+//! The streaming pipeline: ingest → λ-close → incremental filter →
+//! [`convoy_core::CmcState`] fold → drain.
+//!
+//! [`ConvoyStream`] accepts `(object, t, x, y)` samples in feed order and
+//! emits confirmed convoys as their chains close. Internally it mirrors the
+//! batch CuTS pipeline stage for stage:
+//!
+//! ```text
+//! push(o, t, x, y)
+//!   │  FeedValidator: global time order, per-object strict order
+//!   ▼
+//! ObjectBuffer per object              (samples_buffered)
+//!   │  watermark passes a λ-partition end, every object resolved
+//!   ▼
+//! sliding-window DP  ──►  cluster_partition  ──►  CandidateChain
+//!   │                        (shared with the batch filter)
+//!   ▼
+//! RefineFold: coverage-restricted CmcState fold, eviction hooks
+//!   │
+//!   ▼
+//! drain() → confirmed convoys         (StreamStats)
+//! ```
+//!
+//! **Correctness contract.** With an unbounded [`EvictionPolicy`], replaying
+//! any finite database through the stream produces refinement output
+//! bit-identical to batch [`Discovery`] with the same CuTS configuration —
+//! raw convoy sequence and fold counters included — even though the
+//! sliding-window simplification (and hence the filter's clusters and
+//! candidates) may differ from the batch filter's. The coverage fold's
+//! restriction theorem (see [`convoy_core::cuts::refine`]) is what absorbs
+//! the difference. `tests/stream_equivalence.rs` locks the contract in.
+//!
+//! **Laggy objects and the horizon.** A λ-partition only closes once every
+//! known object either has a sample at or past the partition end or has been
+//! silent for more than the horizon (its gap is then *severed*: later
+//! samples never interpolate across it). An unbounded horizon therefore
+//! waits for stragglers indefinitely — the right semantics for a replay,
+//! where [`ConvoyStream::finish`] settles everything — while a finite
+//! horizon bounds both the wait and the buffered window on a live feed.
+
+use crate::buffer::{bridgeable, ObjectBuffer};
+use crate::config::{EvictionPolicy, StreamConfig, StreamStats};
+use convoy_core::cuts::filter::simplify_database;
+use convoy_core::{
+    auto_delta, auto_lambda, cluster_partition, CandidateChain, CandidateConvoy, Convoy,
+    ConvoyQuery, CutsConfig, Discovery, RefineFold,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use traj_cluster::{SegmentDistance, SubTrajectory};
+use traj_simplify::{SlidingDp, ToleranceMode};
+use trajectory::{
+    FeedError, FeedValidator, ObjectId, Snapshot, SnapshotEntry, TimeInterval, TimePoint,
+};
+
+/// The sample-ingest surface of a streaming discovery pipeline.
+///
+/// Samples must arrive in feed order (globally non-decreasing `t`, strictly
+/// increasing per object); a rejected sample leaves the pipeline unchanged.
+pub trait FeedIngest {
+    /// Pushes one sample into the pipeline.
+    fn push(&mut self, object: ObjectId, t: TimePoint, x: f64, y: f64) -> Result<(), FeedError>;
+
+    /// The feed watermark: the largest timestamp accepted so far.
+    fn watermark(&self) -> Option<TimePoint>;
+}
+
+/// The result of a finished stream: every convoy confirmed over its lifetime
+/// (in confirmation order) plus the final counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamOutcome {
+    /// All confirmed convoys, in the order their chains closed.
+    pub convoys: Vec<Convoy>,
+    /// Coarse filter candidates not taken by
+    /// [`ConvoyStream::drain_candidates`] before the stream finished.
+    pub candidates: Vec<CandidateConvoy>,
+    /// The stream's lifetime counters.
+    pub stats: StreamStats,
+}
+
+/// End-to-end streaming convoy discovery over a live feed.
+///
+/// ```
+/// use convoy_core::ConvoyQuery;
+/// use convoy_stream::{ConvoyStream, FeedIngest, StreamConfig};
+/// use trajectory::ObjectId;
+///
+/// let config = StreamConfig::new(ConvoyQuery::new(2, 3, 1.0), 0.2, 4);
+/// let mut stream = ConvoyStream::new(config);
+/// for t in 0..10 {
+///     for o in 0..2u64 {
+///         stream.push(ObjectId(o), t, t as f64, o as f64 * 0.5).unwrap();
+///     }
+/// }
+/// let outcome = stream.finish();
+/// assert_eq!(outcome.convoys.len(), 1);
+/// assert_eq!(outcome.convoys[0].lifetime(), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConvoyStream {
+    config: StreamConfig,
+    sliding: SlidingDp,
+    distance: SegmentDistance,
+    mode: ToleranceMode,
+    validator: FeedValidator,
+    buffers: BTreeMap<ObjectId, ObjectBuffer>,
+    /// Start of the lowest λ-partition not yet closed (`None` before the
+    /// first sample anchors the partition grid).
+    partition_start: Option<TimePoint>,
+    /// The object last observed blocking a partition close (a straggler
+    /// whose samples have not reached the partition end). Re-checking the
+    /// cached straggler first makes the per-push close test O(1) amortized
+    /// instead of a scan over every buffer while a partition is pending.
+    blocker: Option<ObjectId>,
+    chain: CandidateChain,
+    fold: RefineFold,
+    ready: Vec<Convoy>,
+    ready_candidates: Vec<CandidateConvoy>,
+    partitions_closed: u64,
+    filter_candidates: u64,
+    chain_evicted: u64,
+    samples_buffered: usize,
+    peak_samples_buffered: usize,
+}
+
+impl ConvoyStream {
+    /// Creates an empty stream for `config`.
+    pub fn new(config: StreamConfig) -> Self {
+        let EvictionPolicy {
+            horizon,
+            max_candidates,
+        } = config.eviction;
+        ConvoyStream {
+            sliding: SlidingDp::new(config.variant.simplification(), config.delta),
+            distance: config.variant.segment_distance(),
+            mode: config.tolerance_mode,
+            validator: FeedValidator::new(),
+            buffers: BTreeMap::new(),
+            partition_start: None,
+            blocker: None,
+            chain: CandidateChain::new(&config.query),
+            fold: RefineFold::with_eviction(&config.query, horizon, max_candidates),
+            ready: Vec::new(),
+            ready_candidates: Vec::new(),
+            partitions_closed: 0,
+            filter_candidates: 0,
+            chain_evicted: 0,
+            samples_buffered: 0,
+            peak_samples_buffered: 0,
+            config,
+        }
+    }
+
+    /// The stream's configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// Convoys confirmed since the last drain, in confirmation order.
+    pub fn drain(&mut self) -> Vec<Convoy> {
+        std::mem::take(&mut self.ready)
+    }
+
+    /// Coarse filter candidates (λ-partition granularity, the same
+    /// population the batch filter's
+    /// [`convoy_core::cuts::filter::FilterOutput::candidates`] reports)
+    /// closed since the last drain.
+    ///
+    /// Candidates surface one λ-partition *before* the refined convoys they
+    /// cover, so they make a cheap early-warning signal — "a group has
+    /// plausibly been travelling together for ≥ k ticks" — while the
+    /// refinement is still verifying tick-level density connection. They
+    /// deliberately do **not** gate the refinement fold: exactness requires
+    /// the fold's coverage to come from whole partition clusters (see
+    /// [`convoy_core::cuts::refine`]), not from the intersected chains.
+    pub fn drain_candidates(&mut self) -> Vec<CandidateConvoy> {
+        std::mem::take(&mut self.ready_candidates)
+    }
+
+    /// The stream's counters so far.
+    pub fn stats(&self) -> StreamStats {
+        StreamStats {
+            fold: self.fold.stats(),
+            partitions_closed: self.partitions_closed,
+            filter_candidates: self.filter_candidates,
+            peak_filter_candidates: self.chain.peak_open(),
+            candidates_evicted: self.fold.evicted() + self.chain_evicted,
+            samples_buffered: self.samples_buffered,
+            peak_samples_buffered: self.peak_samples_buffered,
+        }
+    }
+
+    /// Returns `true` when the silent object can no longer bridge to any
+    /// future sample: even a sample arriving *right now* (at the watermark)
+    /// would straddle a gap the horizon forbids. Exactly the negation of the
+    /// interpolation rule, so the partition-close logic and the snapshot
+    /// builder can never disagree about a gap.
+    fn severed(last: TimePoint, watermark: TimePoint, horizon: Option<TimePoint>) -> bool {
+        !bridgeable(last, watermark, horizon)
+    }
+
+    /// Returns `true` when the object still blocks closing a partition at
+    /// `end`: its samples have not reached `end` and a future sample could
+    /// still bridge into the window (not severed by the horizon).
+    fn blocks(&self, id: ObjectId, end: TimePoint, watermark: TimePoint) -> bool {
+        let horizon = self.config.eviction.horizon;
+        self.buffers
+            .get(&id)
+            .is_some_and(|b| b.last_t() < end && !Self::severed(b.last_t(), watermark, horizon))
+    }
+
+    /// Finds an object blocking the close of partition `[.., end]`, if any.
+    fn find_blocker(&self, end: TimePoint, watermark: TimePoint) -> Option<ObjectId> {
+        let horizon = self.config.eviction.horizon;
+        self.buffers
+            .iter()
+            .find(|(_, b)| b.last_t() < end && !Self::severed(b.last_t(), watermark, horizon))
+            .map(|(&id, _)| id)
+    }
+
+    /// Closes every partition the watermark (and object resolution) allows.
+    fn advance(&mut self, watermark: TimePoint) {
+        let step = self.config.step();
+        while let Some(start) = self.partition_start {
+            let end = start + step;
+            // Samples at `end` may still arrive while the watermark sits on
+            // it; wait.
+            if watermark <= end {
+                break;
+            }
+            // An unresolved straggler could still bridge into the window.
+            // Re-check the cached straggler first — O(1) on the common path
+            // where one laggy object holds the partition open — and only
+            // fall back to the full scan once it resolves.
+            if let Some(blocker) = self.blocker {
+                if self.blocks(blocker, end, watermark) {
+                    break;
+                }
+                self.blocker = None;
+            }
+            if let Some(blocker) = self.find_blocker(end, watermark) {
+                self.blocker = Some(blocker);
+                break;
+            }
+            self.close_partition(TimeInterval::new(start, end));
+            self.partition_start = Some(end);
+        }
+    }
+
+    /// Clusters one closed λ-partition, folds it into the candidate chain
+    /// and the refinement fold, and applies eviction.
+    fn close_partition(&mut self, window: TimeInterval) {
+        let horizon = self.config.eviction.horizon;
+
+        // Sliding-window DP per object: the λ-partition completed, so every
+        // simplified segment intersecting it can now be closed.
+        let mut items: Vec<SubTrajectory> = Vec::new();
+        for (&id, buffer) in &self.buffers {
+            let mut segments = Vec::new();
+            for run in buffer.runs_for_window(window.start, window.end, horizon) {
+                let Some(simplified) = self.sliding.close_window(run) else {
+                    continue;
+                };
+                if let Some(sub) = SubTrajectory::for_window(id, &simplified, window) {
+                    segments.extend(sub.segments);
+                }
+            }
+            if !segments.is_empty() {
+                items.push(SubTrajectory {
+                    object: id,
+                    segments,
+                    global_tolerance: self.config.delta,
+                });
+            }
+        }
+
+        let clustered =
+            cluster_partition(window, &items, &self.config.query, self.distance, self.mode);
+
+        // Coarse candidate chain (the chaining half of Algorithm 2), with
+        // horizon eviction so an unbounded feed cannot hoard old chains.
+        // Candidates are an *output* (drain_candidates) and a counter — they
+        // never gate the refinement, whose coverage must see whole partition
+        // clusters to stay exact.
+        self.chain.fold(&clustered);
+        if let Some(h) = horizon {
+            self.chain_evicted += self.chain.close_started_before(window.end - h) as u64;
+        }
+        let closed_candidates = self.chain.drain_closed();
+        self.filter_candidates += closed_candidates.len() as u64;
+        self.ready_candidates.extend(closed_candidates);
+
+        // Refinement: the shared coverage fold, reading positions from the
+        // ingest buffers with the same severing rule the filter used.
+        let buffers = &self.buffers;
+        let mut snapshot_at = |t: TimePoint, coverage: &BTreeSet<ObjectId>| {
+            snapshot_from_buffers(buffers, t, coverage, horizon)
+        };
+        self.fold.push_partition(&clustered, &mut snapshot_at);
+        self.ready.extend(self.fold.drain_closed());
+
+        // The fold has consumed every tick before `window.end`; drop samples
+        // older than the bracket needed for the boundary tick and the next
+        // partition.
+        let mut dropped = 0;
+        for buffer in self.buffers.values_mut() {
+            dropped += buffer.trim_before(window.end);
+        }
+        // Object churn on a long-lived feed must not grow state forever: a
+        // severed object whose samples all precede the pending boundary tick
+        // can never again contribute a position, a sub-trajectory segment or
+        // a partition-close blocker, so its buffer goes entirely (it is
+        // re-admitted as a fresh appearance if it ever returns). The feed
+        // validator's per-object memory compacts on the same schedule.
+        if horizon.is_some() {
+            let watermark = self.validator.watermark().unwrap_or(window.end);
+            self.buffers.retain(|_, buffer| {
+                let gone = buffer.last_t() < window.end
+                    && !bridgeable(buffer.last_t(), watermark, horizon);
+                if gone {
+                    dropped += buffer.len();
+                }
+                !gone
+            });
+        }
+        self.validator.compact();
+        self.samples_buffered -= dropped;
+        self.partitions_closed += 1;
+    }
+
+    /// Ends the feed: closes every remaining λ-partition up to the
+    /// watermark, flushes the candidate chain and the refinement fold, and
+    /// returns every convoy not yet drained plus the final counters.
+    pub fn finish(mut self) -> StreamOutcome {
+        if let (Some(mut start), Some(watermark)) =
+            (self.partition_start, self.validator.watermark())
+        {
+            // Close the remaining partitions exactly the way
+            // `trajectory::TimePartition` tiles a finite domain: full
+            // λ-windows, the last one clipped to the watermark.
+            let step = self.config.step();
+            loop {
+                let end = (start + step).min(watermark);
+                self.close_partition(TimeInterval::new(start, end));
+                self.partition_start = Some(end);
+                if end >= watermark {
+                    break;
+                }
+                start = end;
+            }
+        }
+
+        let ConvoyStream {
+            config,
+            buffers,
+            chain,
+            fold,
+            mut ready,
+            mut ready_candidates,
+            mut filter_candidates,
+            partitions_closed,
+            chain_evicted,
+            samples_buffered,
+            peak_samples_buffered,
+            ..
+        } = self;
+
+        let peak_filter_candidates = chain.peak_open();
+        let final_candidates = chain.finish();
+        filter_candidates += final_candidates.len() as u64;
+        ready_candidates.extend(final_candidates);
+
+        let horizon = config.eviction.horizon;
+        let mut snapshot_at = |t: TimePoint, coverage: &BTreeSet<ObjectId>| {
+            snapshot_from_buffers(&buffers, t, coverage, horizon)
+        };
+        let outcome = fold.finish(&mut snapshot_at);
+        ready.extend(outcome.convoys);
+        StreamOutcome {
+            convoys: ready,
+            candidates: ready_candidates,
+            stats: StreamStats {
+                fold: outcome.stats,
+                partitions_closed,
+                filter_candidates,
+                peak_filter_candidates,
+                candidates_evicted: outcome.evicted + chain_evicted,
+                samples_buffered,
+                peak_samples_buffered,
+            },
+        }
+    }
+}
+
+impl FeedIngest for ConvoyStream {
+    fn push(&mut self, object: ObjectId, t: TimePoint, x: f64, y: f64) -> Result<(), FeedError> {
+        self.validator.admit(object, t, x, y)?;
+        self.buffers
+            .entry(object)
+            .or_default()
+            .push(trajectory::TrajPoint::new(x, y, t));
+        self.samples_buffered += 1;
+        self.peak_samples_buffered = self.peak_samples_buffered.max(self.samples_buffered);
+        if self.partition_start.is_none() {
+            self.partition_start = Some(t);
+        }
+        self.advance(t);
+        Ok(())
+    }
+
+    fn watermark(&self) -> Option<TimePoint> {
+        self.validator.watermark()
+    }
+}
+
+/// Builds the coverage-restricted snapshot of tick `t` from the ingest
+/// buffers: entries in ascending object order, positions via the shared
+/// virtual-point arithmetic — bit-identical to
+/// [`convoy_core::restrict_snapshot`] applied to a database snapshot, as
+/// long as the bracketing samples are buffered (the partition close rules
+/// guarantee they are) and no gap exceeds the horizon.
+fn snapshot_from_buffers(
+    buffers: &BTreeMap<ObjectId, ObjectBuffer>,
+    t: TimePoint,
+    coverage: &BTreeSet<ObjectId>,
+    horizon: Option<TimePoint>,
+) -> Snapshot {
+    let mut entries = Vec::with_capacity(coverage.len());
+    for &id in coverage {
+        let Some(buffer) = buffers.get(&id) else {
+            continue;
+        };
+        if let Some((position, interpolated)) = buffer.position_at(t, horizon) {
+            entries.push(SnapshotEntry {
+                id,
+                position,
+                interpolated,
+            });
+        }
+    }
+    Snapshot { time: t, entries }
+}
+
+/// Derives a replay [`StreamConfig`] from a batch CuTS configuration
+/// exactly the way [`Discovery::run`] selects its parameters: explicit δ/λ
+/// win, the Section 7.4 guidelines fill the gaps. Shared by
+/// [`ReplayStream`] and the CLI's file-replay mode so their parameters can
+/// never drift apart.
+pub fn replay_config(
+    cuts: &CutsConfig,
+    db: &trajectory::TrajectoryDatabase,
+    query: &ConvoyQuery,
+) -> StreamConfig {
+    let delta = cuts.delta.unwrap_or_else(|| auto_delta(db, query.e));
+    let lambda = cuts.lambda.unwrap_or_else(|| {
+        let simplified = simplify_database(db, cuts, delta);
+        auto_lambda(simplified.iter().map(|(_, s)| s), query.k)
+    });
+    StreamConfig::new(*query, delta, lambda)
+        .with_variant(cuts.variant)
+        .with_tolerance_mode(cuts.tolerance_mode)
+}
+
+/// Every sample of `db` in feed order (ascending time, object id breaking
+/// ties) — the order a replay pushes them.
+pub fn feed_order_samples(
+    db: &trajectory::TrajectoryDatabase,
+) -> Vec<(ObjectId, trajectory::TrajPoint)> {
+    let mut samples = db.all_samples();
+    samples.sort_by_key(|(id, p)| (p.t, *id));
+    samples
+}
+
+/// Replays a finite trajectory database through the streaming pipeline,
+/// deriving δ and λ exactly like the batch [`Discovery`] run would — the
+/// bridge the equivalence harness uses to compare the two pipelines.
+pub trait ReplayStream {
+    /// Pushes every sample of `db` in feed order through a [`ConvoyStream`]
+    /// configured like this discovery (unbounded eviction) and finishes it.
+    fn replay_stream(
+        &self,
+        db: &trajectory::TrajectoryDatabase,
+        query: &ConvoyQuery,
+    ) -> StreamOutcome;
+}
+
+impl ReplayStream for Discovery {
+    fn replay_stream(
+        &self,
+        db: &trajectory::TrajectoryDatabase,
+        query: &ConvoyQuery,
+    ) -> StreamOutcome {
+        let mut stream = ConvoyStream::new(replay_config(self.config(), db, query));
+        for (id, p) in feed_order_samples(db) {
+            stream
+                .push(id, p.t, p.x, p.y)
+                .expect("database samples form a valid feed");
+        }
+        stream.finish()
+    }
+}

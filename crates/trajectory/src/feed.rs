@@ -1,0 +1,270 @@
+//! Feed-order validation for live sample streams.
+//!
+//! A trajectory *feed* delivers `(object, t, x, y)` samples in time order:
+//! the global timestamp never decreases, and each object's own timestamps
+//! strictly increase (two objects may share a timestamp, one object may
+//! not). Batch ingestion tolerates arbitrary order because it sorts at
+//! [`crate::TrajectoryBuilder::build`] time; a streaming consumer cannot —
+//! it closes time partitions as soon as the watermark passes them, so a
+//! late sample would have to be silently dropped or would corrupt already
+//! published results. [`FeedValidator`] rejects such samples at the door
+//! with a precise error instead.
+
+use crate::database::ObjectId;
+use crate::time::TimePoint;
+use std::collections::HashMap;
+
+/// Why a feed sample was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FeedError {
+    /// The sample's timestamp is older than the feed watermark (the largest
+    /// timestamp accepted so far). Feeds must be globally time-ordered.
+    OutOfOrder {
+        /// The object the rejected sample belongs to.
+        object: ObjectId,
+        /// The rejected sample's timestamp.
+        t: TimePoint,
+        /// The feed watermark at rejection time.
+        watermark: TimePoint,
+    },
+    /// The object already has a sample at this timestamp. Per-object
+    /// timestamps must strictly increase (matching [`crate::Trajectory`]'s
+    /// construction invariant).
+    DuplicateTimestamp {
+        /// The object the rejected sample belongs to.
+        object: ObjectId,
+        /// The duplicated timestamp.
+        t: TimePoint,
+    },
+    /// A coordinate is NaN or infinite (matching the validation
+    /// [`crate::Trajectory::from_points`] applies in batch).
+    NonFiniteCoordinate {
+        /// The object the rejected sample belongs to.
+        object: ObjectId,
+        /// The rejected sample's timestamp.
+        t: TimePoint,
+    },
+}
+
+impl std::fmt::Display for FeedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FeedError::OutOfOrder {
+                object,
+                t,
+                watermark,
+            } => write!(
+                f,
+                "out-of-order sample for {object} at t={t} (feed watermark is t={watermark})"
+            ),
+            FeedError::DuplicateTimestamp { object, t } => {
+                write!(f, "duplicate sample for {object} at t={t}")
+            }
+            FeedError::NonFiniteCoordinate { object, t } => {
+                write!(f, "non-finite coordinate for {object} at t={t}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FeedError {}
+
+/// Validates that a sample feed is time-ordered.
+///
+/// Tracks the global watermark (largest accepted timestamp) and each
+/// object's last accepted timestamp. A rejected sample leaves the validator
+/// unchanged, so a feed can recover by continuing with valid samples.
+///
+/// ```
+/// use trajectory::{FeedValidator, ObjectId};
+///
+/// let mut feed = FeedValidator::new();
+/// assert!(feed.admit(ObjectId(1), 0, 0.0, 0.0).is_ok());
+/// assert!(feed.admit(ObjectId(2), 0, 1.0, 0.0).is_ok()); // same t, other object
+/// assert!(feed.admit(ObjectId(1), 2, 0.5, 0.0).is_ok());
+/// assert!(feed.admit(ObjectId(2), 1, 1.5, 0.0).is_err()); // behind the watermark
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FeedValidator {
+    watermark: Option<TimePoint>,
+    last_per_object: HashMap<ObjectId, TimePoint>,
+}
+
+impl FeedValidator {
+    /// Creates a validator that has seen no samples.
+    pub fn new() -> Self {
+        FeedValidator::default()
+    }
+
+    /// The largest timestamp accepted so far, or `None` before the first
+    /// sample.
+    pub fn watermark(&self) -> Option<TimePoint> {
+        self.watermark
+    }
+
+    /// The last accepted timestamp of `object`, if any.
+    pub fn last_timestamp(&self, object: ObjectId) -> Option<TimePoint> {
+        self.last_per_object.get(&object).copied()
+    }
+
+    /// Number of distinct objects seen so far.
+    pub fn objects_seen(&self) -> usize {
+        self.last_per_object.len()
+    }
+
+    /// Forgets per-object bookkeeping that can no longer influence
+    /// validation, returning the number of entries dropped.
+    ///
+    /// Only objects whose last sample sits exactly on the watermark can
+    /// still collide with a future sample (future timestamps are `>=` the
+    /// watermark, so a duplicate requires equality); everything older is
+    /// dead weight. Long-lived feeds with object churn call this
+    /// periodically so the validator's memory tracks the *active* objects,
+    /// not every object ever seen.
+    pub fn compact(&mut self) -> usize {
+        let Some(watermark) = self.watermark else {
+            return 0;
+        };
+        let before = self.last_per_object.len();
+        self.last_per_object.retain(|_, &mut t| t == watermark);
+        before - self.last_per_object.len()
+    }
+
+    /// Validates one sample, updating the watermark on acceptance. Rejection
+    /// leaves the validator's state untouched.
+    pub fn admit(
+        &mut self,
+        object: ObjectId,
+        t: TimePoint,
+        x: f64,
+        y: f64,
+    ) -> Result<(), FeedError> {
+        if !(x.is_finite() && y.is_finite()) {
+            return Err(FeedError::NonFiniteCoordinate { object, t });
+        }
+        if let Some(watermark) = self.watermark {
+            if t < watermark {
+                return Err(FeedError::OutOfOrder {
+                    object,
+                    t,
+                    watermark,
+                });
+            }
+        }
+        if self.last_per_object.get(&object) == Some(&t) {
+            return Err(FeedError::DuplicateTimestamp { object, t });
+        }
+        self.watermark = Some(t);
+        self.last_per_object.insert(object, t);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_time_ordered_samples() {
+        let mut feed = FeedValidator::new();
+        assert_eq!(feed.watermark(), None);
+        feed.admit(ObjectId(1), 0, 0.0, 0.0).unwrap();
+        feed.admit(ObjectId(2), 0, 1.0, 1.0).unwrap();
+        feed.admit(ObjectId(1), 1, 0.5, 0.0).unwrap();
+        feed.admit(ObjectId(3), 5, 2.0, 2.0).unwrap(); // gaps are fine
+        assert_eq!(feed.watermark(), Some(5));
+        assert_eq!(feed.last_timestamp(ObjectId(1)), Some(1));
+        assert_eq!(feed.objects_seen(), 3);
+    }
+
+    #[test]
+    fn rejects_samples_behind_the_watermark() {
+        let mut feed = FeedValidator::new();
+        feed.admit(ObjectId(1), 5, 0.0, 0.0).unwrap();
+        let err = feed.admit(ObjectId(2), 3, 0.0, 0.0).unwrap_err();
+        assert_eq!(
+            err,
+            FeedError::OutOfOrder {
+                object: ObjectId(2),
+                t: 3,
+                watermark: 5
+            }
+        );
+        // Rejection leaves the validator usable.
+        feed.admit(ObjectId(2), 5, 0.0, 0.0).unwrap();
+        assert_eq!(feed.watermark(), Some(5));
+        // Negative timestamps are fine as long as they are first.
+        let mut feed = FeedValidator::new();
+        feed.admit(ObjectId(1), -10, 0.0, 0.0).unwrap();
+        assert!(feed.admit(ObjectId(1), -11, 0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_per_object_timestamps() {
+        let mut feed = FeedValidator::new();
+        feed.admit(ObjectId(1), 2, 0.0, 0.0).unwrap();
+        let err = feed.admit(ObjectId(1), 2, 9.0, 9.0).unwrap_err();
+        assert_eq!(
+            err,
+            FeedError::DuplicateTimestamp {
+                object: ObjectId(1),
+                t: 2
+            }
+        );
+        // A different object may reuse the timestamp.
+        feed.admit(ObjectId(2), 2, 9.0, 9.0).unwrap();
+    }
+
+    #[test]
+    fn rejects_non_finite_coordinates() {
+        let mut feed = FeedValidator::new();
+        for (x, y) in [
+            (f64::NAN, 0.0),
+            (0.0, f64::NAN),
+            (f64::INFINITY, 0.0),
+            (0.0, f64::NEG_INFINITY),
+        ] {
+            let err = feed.admit(ObjectId(1), 0, x, y).unwrap_err();
+            assert_eq!(
+                err,
+                FeedError::NonFiniteCoordinate {
+                    object: ObjectId(1),
+                    t: 0
+                }
+            );
+        }
+        // The validator saw nothing: the watermark is still unset.
+        assert_eq!(feed.watermark(), None);
+        feed.admit(ObjectId(1), 0, 0.0, 0.0).unwrap();
+    }
+
+    #[test]
+    fn compact_forgets_only_stale_objects() {
+        let mut feed = FeedValidator::new();
+        assert_eq!(feed.compact(), 0, "nothing to forget before any sample");
+        feed.admit(ObjectId(1), 0, 0.0, 0.0).unwrap();
+        feed.admit(ObjectId(2), 5, 0.0, 0.0).unwrap();
+        feed.admit(ObjectId(3), 5, 1.0, 0.0).unwrap();
+        assert_eq!(feed.compact(), 1, "only o1 (behind the watermark) goes");
+        assert_eq!(feed.objects_seen(), 2);
+        // Validation semantics are unchanged: duplicates at the watermark
+        // still bounce, and the forgotten object may resume.
+        assert!(feed.admit(ObjectId(2), 5, 9.0, 9.0).is_err());
+        assert!(feed.admit(ObjectId(1), 5, 9.0, 9.0).is_ok());
+        assert!(
+            feed.admit(ObjectId(1), 4, 0.0, 0.0).is_err(),
+            "watermark still enforced"
+        );
+    }
+
+    #[test]
+    fn errors_render_with_context() {
+        let text = FeedError::OutOfOrder {
+            object: ObjectId(7),
+            t: 3,
+            watermark: 9,
+        }
+        .to_string();
+        assert!(text.contains("o7") && text.contains("t=3") && text.contains("t=9"));
+    }
+}

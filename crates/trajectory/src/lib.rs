@@ -47,6 +47,7 @@
 pub mod builder;
 pub mod database;
 pub mod error;
+pub mod feed;
 pub mod geometry;
 pub mod point;
 pub mod stats;
@@ -55,8 +56,9 @@ pub mod time;
 pub mod trajectory;
 
 pub use builder::TrajectoryBuilder;
-pub use database::{ObjectId, Snapshot, SnapshotPolicy, TrajectoryDatabase};
+pub use database::{ObjectId, Snapshot, SnapshotEntry, SnapshotPolicy, TrajectoryDatabase};
 pub use error::{Result, TrajectoryError};
+pub use feed::{FeedError, FeedValidator};
 pub use geometry::bbox::BoundingBox;
 pub use geometry::point::Point;
 pub use geometry::segment::Segment;

@@ -47,6 +47,26 @@ impl TrajPoint {
     pub fn from_position(p: Point, t: TimePoint) -> Self {
         TrajPoint::new(p.x, p.y, t)
     }
+
+    /// The linearly interpolated *virtual point* (Section 4 of the paper)
+    /// between two bracketing samples at time `t`.
+    ///
+    /// This is **the** virtual-point arithmetic of the whole stack:
+    /// [`crate::Trajectory::location_at`], the [`crate::SnapshotSweep`]
+    /// cursor and the streaming ingest buffers all call it, which is what
+    /// makes their snapshots bit-identical to one another.
+    ///
+    /// Requires `before.t < t < after.t` (callers handle the exact-sample
+    /// case themselves, so the division is always well defined).
+    #[inline]
+    pub fn interpolate(before: &TrajPoint, after: &TrajPoint, t: TimePoint) -> Point {
+        debug_assert!(
+            before.t < t && t < after.t,
+            "t must lie strictly between the samples"
+        );
+        let ratio = (t - before.t) as f64 / (after.t - before.t) as f64;
+        before.position().lerp(&after.position(), ratio)
+    }
 }
 
 impl From<(f64, f64, TimePoint)> for TrajPoint {

@@ -142,13 +142,13 @@ impl Iterator for SnapshotSweep<'_> {
                     interpolated: false,
                 });
             } else if self.policy == SnapshotPolicy::Interpolate {
-                // Same virtual-point arithmetic as `Trajectory::location_at`,
-                // so swept and per-tick snapshots are bit-identical.
+                // Same virtual-point arithmetic as `Trajectory::location_at`
+                // (one shared helper), so swept and per-tick snapshots are
+                // bit-identical.
                 let after = &cursor.points[cursor.idx + 1];
-                let ratio = (t - before.t) as f64 / (after.t - before.t) as f64;
                 entries.push(SnapshotEntry {
                     id: cursor.id,
-                    position: before.position().lerp(&after.position(), ratio),
+                    position: TrajPoint::interpolate(before, after, t),
                     interpolated: true,
                 });
             }

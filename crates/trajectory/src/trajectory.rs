@@ -138,10 +138,11 @@ impl Trajectory {
             Ok(i) => Some(self.points[i].position()),
             Err(i) => {
                 // `i` is the insertion index: points[i-1].t < t < points[i].t.
-                let before = &self.points[i - 1];
-                let after = &self.points[i];
-                let ratio = (t - before.t) as f64 / (after.t - before.t) as f64;
-                Some(before.position().lerp(&after.position(), ratio))
+                Some(TrajPoint::interpolate(
+                    &self.points[i - 1],
+                    &self.points[i],
+                    t,
+                ))
             }
         }
     }

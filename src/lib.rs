@@ -16,7 +16,9 @@
 //! * [`datasets`] (`traj-datasets`) — synthetic dataset profiles mirroring
 //!   the paper's Truck/Cattle/Car/Taxi data plus CSV I/O;
 //! * [`core`] (`convoy-core`) — the convoy query, CMC, the CuTS family and
-//!   the MC2 baseline.
+//!   the MC2 baseline;
+//! * [`stream`] (`convoy-stream`) — end-to-end streaming discovery: the
+//!   incremental CuTS filter with windowed eviction over live feeds.
 //!
 //! ## Quick start
 //!
@@ -35,6 +37,7 @@
 #![warn(rust_2018_idioms)]
 
 pub use convoy_core as core;
+pub use convoy_stream as stream;
 pub use traj_cluster as cluster;
 pub use traj_datasets as datasets;
 pub use traj_simplify as simplify;
@@ -46,6 +49,10 @@ pub mod prelude {
         cmc, cmc_parallel, cmc_sharded, compare_result_sets, mc2, normalize_convoys, CmcEngine,
         CmcState, CmcStats, Convoy, ConvoyQuery, CutsConfig, CutsVariant, Discovery,
         DiscoveryOutcome, Mc2Config, Method,
+    };
+    pub use convoy_stream::{
+        ConvoyStream, EvictionPolicy, FeedIngest, ReplayStream, StreamConfig, StreamOutcome,
+        StreamStats,
     };
     pub use traj_cluster::{
         merge_shard_clusters, shard_clusters, sharded_snapshot_clusters, snapshot_clusters,

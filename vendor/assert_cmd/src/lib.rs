@@ -24,6 +24,7 @@ impl std::error::Error for CargoError {}
 /// A `std::process::Command` wrapper with an `assert()` terminal.
 pub struct Command {
     inner: std::process::Command,
+    stdin: Option<Vec<u8>>,
 }
 
 impl Command {
@@ -50,6 +51,7 @@ impl Command {
         }
         Ok(Command {
             inner: std::process::Command::new(candidate),
+            stdin: None,
         })
     }
 
@@ -69,13 +71,48 @@ impl Command {
         self
     }
 
+    /// Provides bytes to feed to the child's stdin (mirroring
+    /// `assert_cmd`'s API of the same name).
+    pub fn write_stdin(mut self, input: impl Into<Vec<u8>>) -> Self {
+        self.stdin = Some(input.into());
+        self
+    }
+
     /// Runs the command, captures its output, and returns the assertion
     /// handle. Panics if the process cannot be spawned at all.
     pub fn assert(mut self) -> Assert {
-        let output = self
-            .inner
-            .output()
-            .unwrap_or_else(|e| panic!("failed to spawn {:?}: {e}", self.inner));
+        let output = match self.stdin.take() {
+            None => self
+                .inner
+                .output()
+                .unwrap_or_else(|e| panic!("failed to spawn {:?}: {e}", self.inner)),
+            Some(bytes) => {
+                use std::io::Write;
+                use std::process::Stdio;
+                self.inner
+                    .stdin(Stdio::piped())
+                    .stdout(Stdio::piped())
+                    .stderr(Stdio::piped());
+                let mut child = self
+                    .inner
+                    .spawn()
+                    .unwrap_or_else(|e| panic!("failed to spawn {:?}: {e}", self.inner));
+                // Feed stdin from a separate thread (as the real assert_cmd
+                // does): writing to completion before draining stdout would
+                // deadlock once both sides exceed the OS pipe buffer.
+                let mut stdin = child.stdin.take().expect("stdin was piped");
+                let writer = std::thread::spawn(move || {
+                    // A child that stops reading early (closed pipe) is a
+                    // valid outcome to assert on, not a harness error.
+                    let _ = stdin.write_all(&bytes);
+                });
+                let output = child
+                    .wait_with_output()
+                    .unwrap_or_else(|e| panic!("failed to wait for {:?}: {e}", self.inner));
+                writer.join().expect("stdin writer thread panicked");
+                output
+            }
+        };
         Assert { output }
     }
 }
