@@ -7,12 +7,25 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use traj_cluster::{snapshot_clusters, SegmentDistance, SubTrajectory};
+use traj_cluster::{
+    snapshot_clusters, GridIndex, SegmentDistance, SnapshotClusterer, SubTrajectory,
+};
 use traj_simplify::{DouglasPeucker, DouglasPeuckerStar, Simplifier, ToleranceMode};
+use trajectory::database::SnapshotEntry;
 use trajectory::geometry::{Point, Segment, TimedSegment};
 use trajectory::{
-    ObjectId, SnapshotPolicy, TimeInterval, TrajPoint, Trajectory, TrajectoryDatabase,
+    ObjectId, Snapshot, SnapshotPolicy, TimeInterval, TrajPoint, Trajectory, TrajectoryDatabase,
 };
+
+/// The pre-CSR clustering hot path — `traj_cluster::reference`, the one
+/// frozen copy of the `HashMap`-bucket grid and the pre-scratch DBSCAN
+/// loop (also pinned by the clustering crate's order-equivalence tests).
+/// The `micro/grid_build`, `micro/range_query` and
+/// `micro/snapshot_clusters` groups time it against the CSR +
+/// scratch-reuse path so `BENCH_baseline.json` always records both sides
+/// of the trade.
+use traj_cluster::reference as old_path;
+use traj_cluster::reference::HashMapGrid as OldHashMapGrid;
 
 fn random_trajectory(rng: &mut StdRng, len: usize) -> Trajectory {
     let mut x = 0.0f64;
@@ -63,6 +76,121 @@ fn bench_snapshot_clustering(c: &mut Criterion) {
     group.finish();
 }
 
+/// Uniform points at constant density: the world side scales with √n, so
+/// every size has the same expected neighbourhood population (≈7 points per
+/// e-disc at `EPS` = 3).
+fn scatter_points(rng: &mut StdRng, n: usize) -> Vec<Point> {
+    let side = (n as f64).sqrt() * 2.0;
+    (0..n)
+        .map(|_| Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+        .collect()
+}
+
+fn scatter_snapshot(rng: &mut StdRng, n: usize) -> Snapshot {
+    Snapshot {
+        time: 0,
+        entries: scatter_points(rng, n)
+            .into_iter()
+            .enumerate()
+            .map(|(i, position)| SnapshotEntry {
+                id: ObjectId(i as u64),
+                position,
+                interpolated: false,
+            })
+            .collect(),
+    }
+}
+
+/// Point counts for the clustering-primitive scaling cases.
+const SIZES: [usize; 3] = [1_000, 10_000, 100_000];
+/// Query radius for the scaling cases (constant density, see
+/// [`scatter_points`]).
+const EPS: f64 = 3.0;
+/// Density threshold for the scaling cases.
+const MIN_PTS: usize = 3;
+
+fn bench_grid_build(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut group = c.benchmark_group("micro/grid_build");
+    for n in SIZES {
+        let points = scatter_points(&mut rng, n);
+        group.bench_with_input(BenchmarkId::new("old_hashmap", n), &points, |b, pts| {
+            b.iter(|| OldHashMapGrid::build(pts.clone(), EPS))
+        });
+        group.bench_with_input(BenchmarkId::new("new_csr", n), &points, |b, pts| {
+            b.iter(|| GridIndex::build(pts.clone(), EPS))
+        });
+        // The engines' steady state: re-index into retained buffers.
+        let mut reused = GridIndex::default();
+        group.bench_with_input(BenchmarkId::new("new_csr_rebuild", n), &points, |b, pts| {
+            b.iter(|| {
+                reused.rebuild(EPS, pts.iter().copied());
+                reused.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_range_query(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(22);
+    let mut group = c.benchmark_group("micro/range_query");
+    for n in SIZES {
+        let points = scatter_points(&mut rng, n);
+        let old = OldHashMapGrid::build(points.clone(), EPS);
+        let new = GridIndex::build(points.clone(), EPS);
+        // Each iteration answers one e-range query per indexed point.
+        group.bench_with_input(BenchmarkId::new("old_hashmap", n), &points, |b, pts| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for p in pts {
+                    hits += old.range_query(p).len();
+                }
+                hits
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("new_csr_into", n), &points, |b, pts| {
+            let mut buf = Vec::new();
+            b.iter(|| {
+                let mut hits = 0usize;
+                for p in pts {
+                    new.range_query_into(p, &mut buf);
+                    hits += buf.len();
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_snapshot_clusters_scaling(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut group = c.benchmark_group("micro/snapshot_clusters");
+    for n in SIZES {
+        let snapshot = scatter_snapshot(&mut rng, n);
+        group.bench_with_input(BenchmarkId::new("old_hashmap", n), &snapshot, |b, snap| {
+            b.iter(|| old_path::snapshot_clusters(snap, EPS, MIN_PTS))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("new_csr_fresh", n),
+            &snapshot,
+            |b, snap| b.iter(|| snapshot_clusters(snap, EPS, MIN_PTS)),
+        );
+        // What every engine actually runs per tick: a warmed clusterer.
+        group.bench_with_input(
+            BenchmarkId::new("new_csr_warmed", n),
+            &snapshot,
+            |b, snap| {
+                let mut clusterer = SnapshotClusterer::new();
+                clusterer.cluster_into(snap, EPS, MIN_PTS);
+                b.iter(|| clusterer.cluster_into(snap, EPS, MIN_PTS).len())
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_simplification(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(11);
     let traj = random_trajectory(&mut rng, 5_000);
@@ -94,6 +222,9 @@ criterion_group!(
     benches,
     bench_distances,
     bench_snapshot_clustering,
+    bench_grid_build,
+    bench_range_query,
+    bench_snapshot_clusters_scaling,
     bench_simplification,
     bench_omega
 );

@@ -22,6 +22,18 @@ impl Cluster {
         Cluster { members }
     }
 
+    /// Refills this cluster in place from arbitrary ids (sorted and
+    /// de-duplicated, like [`Cluster::new`]) — the allocation-free
+    /// counterpart of `*self = Cluster::new(...)`, reusing the member
+    /// buffer's existing capacity. Used by the snapshot clusterer's pooled
+    /// output clusters.
+    pub fn assign<I: IntoIterator<Item = ObjectId>>(&mut self, ids: I) {
+        self.members.clear();
+        self.members.extend(ids);
+        self.members.sort_unstable();
+        self.members.dedup();
+    }
+
     /// The member ids, sorted ascending.
     #[inline]
     pub fn members(&self) -> &[ObjectId] {

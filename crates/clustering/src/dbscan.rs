@@ -24,6 +24,19 @@ pub trait RegionQuery {
     /// The e-neighbourhood of item `idx` (indices of all items within range,
     /// including `idx` itself).
     fn neighbors(&self, idx: usize) -> Vec<usize>;
+
+    /// Writes the e-neighbourhood of item `idx` into `out` (cleared first),
+    /// in exactly the order [`RegionQuery::neighbors`] would report it.
+    ///
+    /// The default implementation delegates to `neighbors`, so providers that
+    /// don't care about allocation (the brute-force test index, the
+    /// sub-trajectory query) keep working unchanged; hot-path providers like
+    /// [`crate::GridIndex`] override it to reuse the caller's buffer. The
+    /// scratch-driven DBSCAN below only ever calls this entry point.
+    fn neighbors_into(&self, idx: usize, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(self.neighbors(idx));
+    }
 }
 
 /// The DBSCAN label assigned to an item.
@@ -51,6 +64,38 @@ pub fn dbscan<Q: RegionQuery>(query: &Q, min_pts: usize) -> Vec<Label> {
     dbscan_with_core_flags(query, min_pts).0
 }
 
+/// Reusable working state for [`dbscan_with_core_flags_into`]: the label and
+/// core-flag arrays, the BFS seed queue and the neighbourhood buffer.
+///
+/// A scratch reused across runs reaches an allocation fixpoint: once every
+/// buffer has grown to the largest input seen, further runs perform no heap
+/// allocation at all (the zero-allocation contract the snapshot clusterer
+/// builds on).
+#[derive(Debug, Clone, Default)]
+pub struct DbscanScratch {
+    labels: Vec<Label>,
+    core: Vec<bool>,
+    seeds: Vec<usize>,
+    neigh: Vec<usize>,
+}
+
+impl DbscanScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The labels of the most recent run.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// The core flags of the most recent run.
+    pub fn core_flags(&self) -> &[bool] {
+        &self.core
+    }
+}
+
 /// Like [`dbscan`], but also reports for every item whether it is a *core*
 /// item (`|NH_e| >= min_pts`).
 ///
@@ -63,18 +108,42 @@ pub fn dbscan_with_core_flags<Q: RegionQuery>(
     query: &Q,
     min_pts: usize,
 ) -> (Vec<Label>, Vec<bool>) {
+    let mut scratch = DbscanScratch::new();
+    dbscan_with_core_flags_into(query, min_pts, &mut scratch);
+    (scratch.labels, scratch.core)
+}
+
+/// The scratch-driven DBSCAN all public entry points run on: identical
+/// output to [`dbscan_with_core_flags`] (same visiting order, same seeds,
+/// same labels), but every buffer lives in `scratch` and is reused across
+/// calls instead of freshly allocated.
+///
+/// After the call, `scratch.labels()` and `scratch.core_flags()` hold the
+/// run's result (`query.len()` entries each).
+pub fn dbscan_with_core_flags_into<Q: RegionQuery>(
+    query: &Q,
+    min_pts: usize,
+    scratch: &mut DbscanScratch,
+) {
     let n = query.len();
-    let mut labels = vec![Label::Unvisited; n];
-    let mut core = vec![false; n];
+    let DbscanScratch {
+        labels,
+        core,
+        seeds,
+        neigh,
+    } = scratch;
+    labels.clear();
+    labels.resize(n, Label::Unvisited);
+    core.clear();
+    core.resize(n, false);
     let mut next_cluster = 0usize;
-    let mut seeds: Vec<usize> = Vec::new();
 
     for start in 0..n {
         if labels[start] != Label::Unvisited {
             continue;
         }
-        let neighbors = query.neighbors(start);
-        if neighbors.len() < min_pts {
+        query.neighbors_into(start, neigh);
+        if neigh.len() < min_pts {
             labels[start] = Label::Noise;
             continue;
         }
@@ -84,7 +153,7 @@ pub fn dbscan_with_core_flags<Q: RegionQuery>(
         next_cluster += 1;
         labels[start] = Label::Cluster(cluster_id);
         seeds.clear();
-        seeds.extend(neighbors);
+        seeds.extend_from_slice(neigh);
         let mut cursor = 0;
         while cursor < seeds.len() {
             let item = seeds[cursor];
@@ -95,19 +164,18 @@ pub fn dbscan_with_core_flags<Q: RegionQuery>(
                     let was_unvisited = labels[item] == Label::Unvisited;
                     labels[item] = Label::Cluster(cluster_id);
                     if was_unvisited {
-                        let item_neighbors = query.neighbors(item);
-                        if item_neighbors.len() >= min_pts {
+                        query.neighbors_into(item, neigh);
+                        if neigh.len() >= min_pts {
                             // `item` is itself a core item: its neighbourhood
                             // is density-reachable and must be explored.
                             core[item] = true;
-                            seeds.extend(item_neighbors);
+                            seeds.extend_from_slice(neigh);
                         }
                     }
                 }
             }
         }
     }
-    (labels, core)
 }
 
 /// Groups DBSCAN labels into clusters of item indices (noise is dropped).

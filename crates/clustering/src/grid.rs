@@ -3,42 +3,220 @@
 //!
 //! Snapshot clustering (DBSCAN over the objects' positions at one time point)
 //! is the inner loop of both the CMC algorithm and the CuTS refinement step,
-//! so its e-neighbourhood search must not be quadratic. A uniform grid with
-//! cell side `e` answers each neighbourhood query by inspecting at most nine
-//! cells.
+//! so its e-neighbourhood search must not be quadratic — and, because every
+//! engine calls it once per tick, it must not allocate per call either.
+//!
+//! ## CSR layout
+//!
+//! [`GridIndex`] stores its buckets in *compressed sparse row* form rather
+//! than a `HashMap<cell, Vec<usize>>`: one flat array of `(cell key, point
+//! index)` pairs sorted in place (`keyed`), a sorted table of the distinct
+//! keys (`cell_keys`) with their bucket extents (`bucket_starts`), flat
+//! per-cell point-index and point-copy arrays (`bucket_points` /
+//! `cell_points`, so bucket scans read memory sequentially), and a compact
+//! open-addressed `(hash tag, rank)` probe table. A range query resolves
+//! the 3×3 neighbour cells with typically **one hash probe per column**:
+//! vertically adjacent cells have numerically consecutive packed keys, so
+//! once one cell of a column is anchored, its neighbours chain via a single
+//! sequential comparison in the sorted key table — and an indexed point's
+//! own cell needs no probe (and no coordinate division) at all, its bucket
+//! rank being recorded at build time. No per-cell `Vec`, no SipHash, no
+//! pointer chasing — the flat-bucket structure the grid-join literature
+//! gets its speed from.
+//!
+//! Sorting by `(key, index)` keeps each bucket's points in ascending point
+//! index, which is exactly the insertion order the previous `HashMap`
+//! implementation produced; together with the fixed 3×3 `dx`/`dy` cell visit
+//! order this makes every neighbourhood list — and therefore every DBSCAN
+//! label sequence — bit-identical to the historical behaviour, which the
+//! engine/shard/stream equivalence suites rely on (the frozen original
+//! lives in [`crate::reference`], pinned by order-equivalence property
+//! tests below).
+//!
+//! ## Scratch reuse
+//!
+//! [`SnapshotClusterer`] owns the grid arrays, the id buffer, the DBSCAN
+//! scratch and a pool of output [`Cluster`]s, so that
+//! [`SnapshotClusterer::cluster_into`] performs **zero heap allocations** in
+//! steady state: after a warm-up tick has grown every buffer to its
+//! fixpoint, clustering further snapshots of similar size touches no
+//! allocator at all (locked in by the `zero_alloc` integration test). Every
+//! engine — per-tick, swept, parallel, sharded, the CuTS refinement fold and
+//! the streaming pipeline — folds its ticks through a reused clusterer.
 
 use crate::cluster::Cluster;
-use crate::dbscan::{dbscan, labels_to_clusters, Label, RegionQuery};
-use std::collections::HashMap;
+use crate::dbscan::{
+    dbscan, dbscan_with_core_flags_into, labels_to_clusters, DbscanScratch, Label, RegionQuery,
+};
 use trajectory::geometry::Point;
 use trajectory::{ObjectId, Snapshot};
 
-/// A uniform-grid index over a fixed set of points.
+/// A uniform-grid index over a fixed set of points, stored in a flat CSR
+/// layout (see the module docs).
 ///
 /// The grid cell side equals the query radius `epsilon`, so the
 /// e-neighbourhood of a point is always contained in the 3×3 block of cells
 /// around the point's own cell.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct GridIndex {
     points: Vec<Point>,
     epsilon: f64,
-    cells: HashMap<(i64, i64), Vec<usize>>,
+    /// Build scratch: `(cell key, point index)` pairs sorted by key then
+    /// index — one in-place `sort_unstable` groups points per cell while
+    /// keeping every bucket in ascending point index.
+    keyed: Vec<(u128, u32)>,
+    /// The distinct cell keys, ascending, indexed by bucket rank.
+    cell_keys: Vec<u128>,
+    /// `bucket_starts[r]..bucket_starts[r + 1]` is the extent of bucket `r`
+    /// inside `bucket_points` / `cell_points`.
+    bucket_starts: Vec<u32>,
+    /// Original point indices, grouped per cell (the CSR column array).
+    bucket_points: Vec<u32>,
+    /// The points in bucket order — a cell-local copy so the distance scan
+    /// of a bucket reads memory sequentially instead of chasing
+    /// `points[bucket_points[pos]]` at random.
+    cell_points: Vec<Point>,
+    /// Open-addressed lookup table of `(hash tag, bucket rank)` pairs,
+    /// resolved by linear probing: a probe compares the 32-bit tag (one
+    /// 8-byte load), and only a tag match pays the exact key verification
+    /// against `cell_keys`. Sized to the next power of two ≥ 2× the cell
+    /// count, so probes stay short and the table stays compact (8 bytes per
+    /// slot). Replaces both the `HashMap` of the original implementation
+    /// (whose SipHash dominated lookups) and a sorted-key binary search
+    /// (whose ~log₂ cells u128 comparisons per cell lookup measurably lose
+    /// to one multiply-shift hash).
+    rank_table: Vec<(u32, u32)>,
+    /// Bucket rank of every point's own cell (filled free during the
+    /// grouping pass): the centre column of a [`RegionQuery::neighbors_into`]
+    /// query needs no hash probe at all.
+    point_rank: Vec<u32>,
 }
+
+/// Sentinel marking an empty [`GridIndex::rank_table`] slot. Bucket ranks
+/// are bounded by the point count, which [`GridIndex::rebuild_cells`] caps
+/// below `u32::MAX`.
+const EMPTY_SLOT: u32 = u32::MAX;
 
 impl GridIndex {
     /// Builds the index over `points` for range queries of radius `epsilon`.
     /// A non-positive `epsilon` is clamped to a tiny positive value so that
     /// degenerate queries still terminate.
     pub fn build(points: Vec<Point>, epsilon: f64) -> Self {
-        let epsilon = if epsilon > 0.0 { epsilon } else { f64::EPSILON };
-        let mut cells: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
-        for (i, p) in points.iter().enumerate() {
-            cells.entry(Self::cell_of(p, epsilon)).or_default().push(i);
-        }
-        GridIndex {
+        let mut index = GridIndex {
             points,
-            epsilon,
-            cells,
+            ..GridIndex::default()
+        };
+        index.epsilon = if epsilon > 0.0 { epsilon } else { f64::EPSILON };
+        index.rebuild_cells();
+        index
+    }
+
+    /// Re-indexes in place: clears the point set, hands the caller the
+    /// (capacity-preserving) point buffer to refill, then rebuilds the cell
+    /// arrays. No allocation happens once the buffers have grown to cover
+    /// the largest input seen — the reuse entry point the snapshot clusterer
+    /// and the shard workers drive every tick.
+    pub fn rebuild_with(&mut self, epsilon: f64, fill: impl FnOnce(&mut Vec<Point>)) {
+        self.points.clear();
+        fill(&mut self.points);
+        self.epsilon = if epsilon > 0.0 { epsilon } else { f64::EPSILON };
+        self.rebuild_cells();
+    }
+
+    /// Re-indexes in place over the points of an iterator (see
+    /// [`GridIndex::rebuild_with`]).
+    pub fn rebuild(&mut self, epsilon: f64, points: impl IntoIterator<Item = Point>) {
+        self.rebuild_with(epsilon, |buf| buf.extend(points));
+    }
+
+    /// Recomputes the CSR arrays from `self.points` and `self.epsilon`.
+    fn rebuild_cells(&mut self) {
+        assert!(
+            self.points.len() < u32::MAX as usize,
+            "grid index caps below u32::MAX points"
+        );
+        self.keyed.clear();
+        let epsilon = self.epsilon;
+        self.keyed.extend(
+            self.points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (Self::pack(Self::cell_of(p, epsilon)), i as u32)),
+        );
+        // Sorting the pairs groups points per cell while keeping each bucket
+        // in ascending point index — the HashMap version's insertion order.
+        // `sort_unstable` is in-place (no heap allocation), and distinct
+        // indices make the order total, so instability cannot reorder
+        // anything.
+        self.keyed.sort_unstable();
+        self.cell_keys.clear();
+        self.bucket_starts.clear();
+        self.bucket_points.clear();
+        self.cell_points.clear();
+        self.point_rank.clear();
+        self.point_rank.resize(self.points.len(), 0);
+        for (i, &(key, point)) in self.keyed.iter().enumerate() {
+            if self.cell_keys.last() != Some(&key) {
+                self.cell_keys.push(key);
+                self.bucket_starts.push(i as u32);
+            }
+            self.point_rank[point as usize] = (self.cell_keys.len() - 1) as u32;
+            self.bucket_points.push(point);
+            self.cell_points.push(self.points[point as usize]);
+        }
+        self.bucket_starts.push(self.keyed.len() as u32);
+
+        // Open-addressed rank table at ≤ 50% load.
+        let slots = (self.cell_keys.len() * 2).next_power_of_two().max(4);
+        self.rank_table.clear();
+        self.rank_table.resize(slots, (0, EMPTY_SLOT));
+        let mask = slots - 1;
+        for (rank, &key) in self.cell_keys.iter().enumerate() {
+            let hash = Self::hash_key(key);
+            let mut slot = hash as usize & mask;
+            while self.rank_table[slot].1 != EMPTY_SLOT {
+                slot = (slot + 1) & mask;
+            }
+            self.rank_table[slot] = (Self::tag(hash), rank as u32);
+        }
+    }
+
+    /// Multiply-shift hash of a packed cell key. Collisions are resolved by
+    /// probing with tag comparison plus exact key verification, so the hash
+    /// only affects speed, never correctness.
+    #[inline]
+    fn hash_key(key: u128) -> u64 {
+        let lo = key as u64;
+        let hi = (key >> 64) as u64;
+        (hi ^ lo.rotate_left(32)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// The tag bits of a hash stored in the probe table (its high half —
+    /// disjoint from the low bits that pick the slot, so colliding slots
+    /// rarely share a tag).
+    #[inline]
+    fn tag(hash: u64) -> u32 {
+        (hash >> 32) as u32
+    }
+
+    /// Looks up the bucket rank of `key` in the open-addressed table.
+    #[inline]
+    fn bucket_rank(&self, key: u128) -> Option<usize> {
+        let mask = self.rank_table.len().checked_sub(1)?;
+        let hash = Self::hash_key(key);
+        let tag = Self::tag(hash);
+        let mut slot = hash as usize & mask;
+        loop {
+            let (stored_tag, rank) = self.rank_table[slot];
+            if rank == EMPTY_SLOT {
+                return None;
+            }
+            // A tag match is near-certain to be the key; the exact
+            // comparison keeps false positives impossible rather than rare.
+            if stored_tag == tag && self.cell_keys[rank as usize] == key {
+                return Some(rank as usize);
+            }
+            slot = (slot + 1) & mask;
         }
     }
 
@@ -72,6 +250,14 @@ impl GridIndex {
         )
     }
 
+    /// Packs a cell coordinate pair into one order-irrelevant `u128` key
+    /// (bucket lookup only ever tests equality of exact keys, so the packed
+    /// ordering does not need to match the lexicographic `(i64, i64)` one).
+    #[inline]
+    fn pack((cx, cy): (i64, i64)) -> u128 {
+        ((cx as u64 as u128) << 64) | (cy as u64 as u128)
+    }
+
     /// The number of indexed points.
     pub fn len(&self) -> usize {
         self.points.len()
@@ -90,21 +276,117 @@ impl GridIndex {
     /// Indices of all points within `epsilon` of `target` (including the
     /// target itself when it is one of the indexed points).
     pub fn range_query(&self, target: &Point) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.range_query_into(target, &mut out);
+        out
+    }
+
+    /// Like [`GridIndex::range_query`], but writes the indices into `out`
+    /// (cleared first) instead of allocating — same hits, same order.
+    pub fn range_query_into(&self, target: &Point, out: &mut Vec<usize>) {
+        out.clear();
         let (cx, cy) = Self::cell_of(target, self.epsilon);
         let eps_sq = self.epsilon * self.epsilon;
-        let mut out = Vec::new();
-        for dx in -1..=1 {
-            for dy in -1..=1 {
-                if let Some(bucket) = self.cells.get(&(cx + dx, cy + dy)) {
-                    for &i in bucket {
-                        if self.points[i].distance_squared(target) <= eps_sq {
-                            out.push(i);
-                        }
-                    }
+        self.scan_column(cx - 1, cy, None, target, eps_sq, out);
+        self.scan_column(cx, cy, None, target, eps_sq, out);
+        self.scan_column(cx + 1, cy, None, target, eps_sq, out);
+    }
+
+    /// Scans one column (three vertically adjacent cells) of a query's 3×3
+    /// block in `dy` order, pushing the in-range points of each bucket.
+    ///
+    /// Within a column, consecutive `cy` cells have numerically consecutive
+    /// packed keys (except across the rare u64 sign-boundary wrap, which the
+    /// `checked_add` guards detect), and the key table is sorted — so once
+    /// one cell of the column is resolved, its neighbours are found with a
+    /// single sequential key comparison at the adjacent rank. Typical
+    /// dense-grid cost: one hash probe per column instead of three — and
+    /// zero when the caller supplies `center_rank` (an indexed point's own
+    /// cell, recorded at build time).
+    #[inline]
+    fn scan_column(
+        &self,
+        col: i64,
+        cy: i64,
+        center_rank: Option<usize>,
+        target: &Point,
+        eps_sq: f64,
+        out: &mut Vec<usize>,
+    ) {
+        let k_lo = Self::pack((col, cy - 1));
+        let k_mid = Self::pack((col, cy));
+        let k_hi = Self::pack((col, cy + 1));
+        let lo_adjacent = k_lo.checked_add(1) == Some(k_mid);
+        let mid_adjacent = k_mid.checked_add(1) == Some(k_hi);
+
+        let r_lo = match center_rank {
+            Some(r_mid) if lo_adjacent => {
+                if r_mid > 0 && self.cell_keys[r_mid - 1] == k_lo {
+                    Some(r_mid - 1)
+                } else {
+                    None
                 }
             }
+            _ => self.bucket_rank(k_lo),
+        };
+        self.scan_bucket(r_lo, target, eps_sq, out);
+
+        let r_mid = match (center_rank, r_lo) {
+            (Some(r), _) => Some(r),
+            (None, Some(r)) if lo_adjacent => {
+                if self.cell_keys.get(r + 1) == Some(&k_mid) {
+                    Some(r + 1)
+                } else {
+                    None
+                }
+            }
+            _ => self.bucket_rank(k_mid),
+        };
+        self.scan_bucket(r_mid, target, eps_sq, out);
+
+        let r_hi = match (r_mid, r_lo) {
+            (Some(r), _) if mid_adjacent => {
+                if self.cell_keys.get(r + 1) == Some(&k_hi) {
+                    Some(r + 1)
+                } else {
+                    None
+                }
+            }
+            // The middle cell was just probed absent, so if `k_hi` exists
+            // it immediately follows the low cell's rank.
+            (None, Some(r)) if lo_adjacent && mid_adjacent => {
+                if self.cell_keys.get(r + 1) == Some(&k_hi) {
+                    Some(r + 1)
+                } else {
+                    None
+                }
+            }
+            _ => self.bucket_rank(k_hi),
+        };
+        self.scan_bucket(r_hi, target, eps_sq, out);
+    }
+
+    /// Pushes the points of bucket `rank` within `eps_sq` of `target`, in
+    /// bucket (= ascending point index) order. The scan reads the
+    /// cell-local point copy sequentially; only hits touch the index array.
+    #[inline]
+    fn scan_bucket(&self, rank: Option<usize>, target: &Point, eps_sq: f64, out: &mut Vec<usize>) {
+        let Some(rank) = rank else { return };
+        let start = self.bucket_starts[rank] as usize;
+        let end = self.bucket_starts[rank + 1] as usize;
+        let pts = &self.cell_points[start..end];
+        let idxs = &self.bucket_points[start..end];
+        for (p, &i) in pts.iter().zip(idxs) {
+            if p.distance_squared(target) <= eps_sq {
+                out.push(i as usize);
+            }
         }
-        out
+    }
+
+    /// Inverse of [`GridIndex::pack`].
+    #[inline]
+    fn unpack(key: u128) -> (i64, i64) {
+        (((key >> 64) as u64) as i64, (key as u64) as i64)
     }
 }
 
@@ -114,7 +396,106 @@ impl RegionQuery for GridIndex {
     }
 
     fn neighbors(&self, idx: usize) -> Vec<usize> {
-        self.range_query(&self.points[idx])
+        let mut out = Vec::new();
+        self.neighbors_into(idx, &mut out);
+        out
+    }
+
+    /// The DBSCAN hot path: identical hits and order to
+    /// [`GridIndex::range_query_into`] at the point's own position, but the
+    /// point's cell is recovered from its recorded bucket rank — no
+    /// coordinate divisions, and the centre column needs no hash probe.
+    fn neighbors_into(&self, idx: usize, out: &mut Vec<usize>) {
+        out.clear();
+        let target = &self.points[idx];
+        let eps_sq = self.epsilon * self.epsilon;
+        let rank = self.point_rank[idx] as usize;
+        let (cx, cy) = Self::unpack(self.cell_keys[rank]);
+        self.scan_column(cx - 1, cy, None, target, eps_sq, out);
+        self.scan_column(cx, cy, Some(rank), target, eps_sq, out);
+        self.scan_column(cx + 1, cy, None, target, eps_sq, out);
+    }
+}
+
+/// Reusable scratch state for snapshot clustering: the grid index, the
+/// object-id buffer, the DBSCAN working arrays and a pool of output
+/// clusters.
+///
+/// [`SnapshotClusterer::cluster_into`] produces exactly the clusters of
+/// [`snapshot_clusters`] — same members, same order — but reuses every
+/// buffer across calls, so a warmed clusterer performs **zero heap
+/// allocations** per tick. One clusterer per fold (or per worker thread) is
+/// the pattern: the convoy engine's `CmcState` owns one for its ingest path,
+/// and the parallel/sharded drivers give each worker its own.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotClusterer {
+    ids: Vec<ObjectId>,
+    grid: GridIndex,
+    scratch: DbscanScratch,
+    /// `(cluster id, point index)` pairs, sorted to group members per
+    /// cluster (ascending point index within each cluster).
+    pairs: Vec<(u32, u32)>,
+    /// Pooled output clusters; the first `n` are overwritten per call, the
+    /// rest keep stale members but are never exposed.
+    clusters: Vec<Cluster>,
+}
+
+impl SnapshotClusterer {
+    /// Creates an empty clusterer (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Density-clusters the objects of `snapshot` (DBSCAN with range `e` and
+    /// density threshold `m`) into clusters of object ids — the same output
+    /// as [`snapshot_clusters`], reusing this clusterer's buffers.
+    ///
+    /// The returned slice borrows the clusterer's cluster pool: it is valid
+    /// until the next `cluster_into` call, which overwrites it (clone the
+    /// clusters out if they must outlive the tick).
+    pub fn cluster_into(&mut self, snapshot: &Snapshot, e: f64, m: usize) -> &[Cluster] {
+        if snapshot.len() < m {
+            return &[];
+        }
+        self.ids.clear();
+        self.ids
+            .extend(snapshot.entries.iter().map(|entry| entry.id));
+        self.grid.rebuild_with(e, |points| {
+            points.extend(snapshot.entries.iter().map(|entry| entry.position));
+        });
+        dbscan_with_core_flags_into(&self.grid, m, &mut self.scratch);
+
+        // Group the labelled points per cluster: sorting `(cluster, index)`
+        // pairs groups members in ascending point index, which after the id
+        // mapping is exactly what `labels_to_clusters` + `Cluster::new`
+        // produce.
+        self.pairs.clear();
+        let mut num_clusters = 0u32;
+        for (i, label) in self.scratch.labels().iter().enumerate() {
+            if let Label::Cluster(c) = label {
+                let c = *c as u32;
+                num_clusters = num_clusters.max(c + 1);
+                self.pairs.push((c, i as u32));
+            }
+        }
+        self.pairs.sort_unstable();
+        while self.clusters.len() < num_clusters as usize {
+            self.clusters.push(Cluster::default());
+        }
+        let mut cursor = 0;
+        for c in 0..num_clusters {
+            let start = cursor;
+            while cursor < self.pairs.len() && self.pairs[cursor].0 == c {
+                cursor += 1;
+            }
+            let ids = &self.ids;
+            self.clusters[c as usize].assign(
+                self.pairs[start..cursor]
+                    .iter()
+                    .map(|&(_, i)| ids[i as usize]),
+            );
+        }
+        &self.clusters[..num_clusters as usize]
     }
 }
 
@@ -122,23 +503,13 @@ impl RegionQuery for GridIndex {
 /// density threshold `m`), returning clusters of object ids.
 ///
 /// This is the `DBSCAN(O_t, e, m)` call of Algorithm 1 (CMC) and of the CuTS
-/// refinement step. Objects labelled as noise are not reported.
+/// refinement step. Objects labelled as noise are not reported. One-shot
+/// convenience over [`SnapshotClusterer::cluster_into`] — per-tick callers
+/// should hold a clusterer and reuse it instead.
 pub fn snapshot_clusters(snapshot: &Snapshot, e: f64, m: usize) -> Vec<Cluster> {
-    if snapshot.len() < m {
-        return Vec::new();
-    }
-    let ids: Vec<ObjectId> = snapshot.entries.iter().map(|entry| entry.id).collect();
-    let points: Vec<Point> = snapshot
-        .entries
-        .iter()
-        .map(|entry| entry.position)
-        .collect();
-    let index = GridIndex::build(points, e);
-    let labels = dbscan(&index, m);
-    labels_to_clusters(&labels)
-        .into_iter()
-        .map(|members| Cluster::new(members.into_iter().map(|i| ids[i]).collect()))
-        .collect()
+    SnapshotClusterer::new()
+        .cluster_into(snapshot, e, m)
+        .to_vec()
 }
 
 /// Like [`snapshot_clusters`] but also reports the noise objects, which some
@@ -176,8 +547,30 @@ pub fn snapshot_clusters_with_noise(
 mod tests {
     use super::*;
     use crate::dbscan::BruteForcePoints;
+    use crate::reference::HashMapGrid;
     use proptest::prelude::*;
+    use trajectory::database::SnapshotEntry;
     use trajectory::{SnapshotPolicy, Trajectory, TrajectoryDatabase};
+
+    /// Asserts the CSR index agrees with the HashMap reference on every
+    /// point's neighbourhood — order included — and that the buffered query
+    /// path equals the allocating one.
+    fn assert_matches_reference(points: &[Point], epsilon: f64) {
+        let csr = GridIndex::build(points.to_vec(), epsilon);
+        let reference = HashMapGrid::build(points.to_vec(), epsilon);
+        let mut buf = Vec::new();
+        for (i, p) in points.iter().enumerate() {
+            let expected = reference.range_query(p);
+            assert_eq!(
+                csr.range_query(p),
+                expected,
+                "range_query order mismatch at point {i}"
+            );
+            csr.neighbors_into(i, &mut buf);
+            assert_eq!(buf, expected, "neighbors_into order mismatch at point {i}");
+            assert_eq!(csr.neighbors(i), expected);
+        }
+    }
 
     #[test]
     fn range_query_matches_brute_force() {
@@ -197,6 +590,7 @@ mod tests {
             brute.sort_unstable();
             assert_eq!(from_grid, brute, "mismatch for point {i}");
         }
+        assert_matches_reference(&points, 1.0);
     }
 
     #[test]
@@ -206,11 +600,12 @@ mod tests {
             Point::new(-5.5, -5.2),
             Point::new(5.0, 5.0),
         ];
-        let index = GridIndex::build(points, 1.0);
+        let index = GridIndex::build(points.clone(), 1.0);
         let n = index.range_query(&Point::new(-5.0, -5.0));
         assert_eq!(n.len(), 2);
         assert!(!index.is_empty());
         assert_eq!(index.len(), 3);
+        assert_matches_reference(&points, 1.0);
     }
 
     #[test]
@@ -226,7 +621,7 @@ mod tests {
             Point::new(f64::NEG_INFINITY, f64::INFINITY),
             Point::new(f64::NAN, 3.0),
         ];
-        let index = GridIndex::build(points, 1.0);
+        let index = GridIndex::build(points.clone(), 1.0);
         // Near the origin only the two finite nearby points are neighbours.
         let near = index.range_query(&Point::new(0.0, 0.0));
         assert_eq!(near, vec![0, 1]);
@@ -237,6 +632,7 @@ mod tests {
             assert!(hits.len() <= 1, "far point {i} found neighbours: {hits:?}");
         }
         assert!(index.range_query(&Point::new(f64::NAN, 3.0)).is_empty());
+        assert_matches_reference(&points, 1.0);
     }
 
     #[test]
@@ -244,8 +640,9 @@ mod tests {
         // Both coordinates clamp to the same boundary cell; the exact
         // distance test keeps them apart.
         let points = vec![Point::new(1e300, 0.0), Point::new(2e300, 0.0)];
-        let index = GridIndex::build(points, 5.0);
+        let index = GridIndex::build(points.clone(), 5.0);
         assert_eq!(index.range_query(&Point::new(1e300, 0.0)), vec![0]);
+        assert_matches_reference(&points, 5.0);
     }
 
     #[test]
@@ -254,6 +651,26 @@ mod tests {
         let index = GridIndex::build(points, 0.0);
         // Identical points are still mutual neighbours at distance 0.
         assert_eq!(index.range_query(&Point::new(0.0, 0.0)).len(), 2);
+    }
+
+    #[test]
+    fn rebuild_reuses_buffers_and_reindexes_exactly() {
+        let mut index = GridIndex::default();
+        for round in 0..3 {
+            let shift = round as f64 * 10.0;
+            let points: Vec<Point> = (0..40)
+                .map(|i| Point::new(shift + (i % 8) as f64 * 0.6, (i / 8) as f64 * 0.6))
+                .collect();
+            index.rebuild(1.0, points.iter().copied());
+            let fresh = GridIndex::build(points.clone(), 1.0);
+            for (i, p) in points.iter().enumerate() {
+                assert_eq!(
+                    index.range_query(p),
+                    fresh.range_query(p),
+                    "rebuild diverged from fresh build at round {round}, point {i}"
+                );
+            }
+        }
     }
 
     fn db_with_positions(positions: &[(f64, f64)]) -> TrajectoryDatabase {
@@ -287,6 +704,8 @@ mod tests {
         let db = db_with_positions(&[(0.0, 0.0), (0.1, 0.0)]);
         let snap = db.snapshot(0, SnapshotPolicy::Interpolate);
         assert!(snapshot_clusters(&snap, 1.0, 3).is_empty());
+        let mut clusterer = SnapshotClusterer::new();
+        assert!(clusterer.cluster_into(&snap, 1.0, 3).is_empty());
     }
 
     #[test]
@@ -299,6 +718,74 @@ mod tests {
         let clusters = snapshot_clusters(&snap, 1.2, 2);
         assert_eq!(clusters.len(), 1);
         assert_eq!(clusters[0].len(), 4);
+    }
+
+    /// Builds an id-ordered snapshot from raw positions (ids = input order).
+    fn snapshot_of(positions: &[(f64, f64)]) -> Snapshot {
+        Snapshot {
+            time: 0,
+            entries: positions
+                .iter()
+                .enumerate()
+                .map(|(i, (x, y))| SnapshotEntry {
+                    id: ObjectId(i as u64),
+                    position: Point::new(*x, *y),
+                    interpolated: false,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn reused_clusterer_equals_fresh_clustering_over_100_random_snapshots() {
+        // One clusterer folded over 100 snapshots of wildly varying size and
+        // density must produce exactly what a fresh `snapshot_clusters` call
+        // produces per snapshot — stale pool contents, grown buffers and all.
+        let mut clusterer = SnapshotClusterer::new();
+        let mut seed = 0x5eed_cafe_u64;
+        let mut rand = move || {
+            // xorshift64*: deterministic, dependency-free.
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for round in 0..100 {
+            let n = (rand() % 120) as usize;
+            let positions: Vec<(f64, f64)> = (0..n)
+                .map(|_| {
+                    (
+                        (rand() % 2_000) as f64 * 0.03 - 30.0,
+                        (rand() % 2_000) as f64 * 0.03 - 30.0,
+                    )
+                })
+                .collect();
+            let snap = snapshot_of(&positions);
+            let e = 0.3 + (rand() % 40) as f64 * 0.1;
+            let m = 1 + (rand() % 4) as usize;
+            let reused = clusterer.cluster_into(&snap, e, m).to_vec();
+            assert_eq!(
+                reused,
+                snapshot_clusters(&snap, e, m),
+                "reused clusterer diverged at round {round} (n={n}, e={e}, m={m})"
+            );
+        }
+    }
+
+    #[test]
+    fn reused_clusterer_handles_pathological_coordinates() {
+        let mut clusterer = SnapshotClusterer::new();
+        for positions in [
+            vec![(0.0, 0.0), (0.5, 0.0), (1e300, -1e300), (f64::NAN, 3.0)],
+            vec![(f64::INFINITY, 0.0), (f64::NEG_INFINITY, f64::INFINITY)],
+            vec![(0.0, 0.0), (0.4, 0.0), (0.8, 0.0), (50.0, 50.0)],
+        ] {
+            let snap = snapshot_of(&positions);
+            assert_eq!(
+                clusterer.cluster_into(&snap, 1.0, 2).to_vec(),
+                snapshot_clusters(&snap, 1.0, 2)
+            );
+        }
     }
 
     proptest! {
@@ -319,6 +806,30 @@ mod tests {
         }
 
         #[test]
+        fn csr_neighbourhood_order_equals_hashmap_reference(
+            coords in proptest::collection::vec((-30.0f64..30.0, -30.0f64..30.0), 1..80),
+            e in 0.3f64..5.0) {
+            // The exactness contract of the CSR rewrite: not just the same
+            // neighbour *sets* but the same *order* the HashMap buckets
+            // reported, for every point — DBSCAN's seed order (and thus the
+            // engines' bit-identical output) depends on it.
+            let mut pts: Vec<Point> = coords.iter().map(|(x, y)| Point::new(*x, *y)).collect();
+            // Salt the set with the pathological fixtures so clamped and NaN
+            // cells are exercised under the same order contract.
+            pts.push(Point::new(1e300, -1e300));
+            pts.push(Point::new(f64::INFINITY, 0.0));
+            pts.push(Point::new(f64::NAN, 3.0));
+            let csr = GridIndex::build(pts.clone(), e);
+            let reference = HashMapGrid::build(pts.clone(), e);
+            let mut buf = Vec::new();
+            for (i, p) in pts.iter().enumerate() {
+                let expected = reference.range_query(p);
+                csr.neighbors_into(i, &mut buf);
+                prop_assert_eq!(&buf, &expected, "order mismatch at index {}", i);
+            }
+        }
+
+        #[test]
         fn clustering_via_grid_matches_brute_force_partition(
             coords in proptest::collection::vec((-30.0f64..30.0, -30.0f64..30.0), 2..60),
             e in 0.5f64..5.0,
@@ -329,6 +840,23 @@ mod tests {
             let grid_labels = dbscan(&GridIndex::build(pts.clone(), e), m);
             let brute_labels = dbscan(&BruteForcePoints::new(&pts, e), m);
             prop_assert_eq!(grid_labels, brute_labels);
+        }
+
+        #[test]
+        fn reused_clusterer_is_equivalent_on_random_snapshots(
+            coords in proptest::collection::vec((-30.0f64..30.0, -30.0f64..30.0), 0..60),
+            e in 0.3f64..5.0,
+            m in 1usize..5) {
+            let snap = snapshot_of(&coords);
+            let mut clusterer = SnapshotClusterer::new();
+            // Warm the pool with an unrelated snapshot first so stale state
+            // is in play, then cluster the real one.
+            let warm = snapshot_of(&[(0.0, 0.0), (0.2, 0.0), (0.4, 0.0), (9.0, 9.0)]);
+            clusterer.cluster_into(&warm, 0.5, 2);
+            prop_assert_eq!(
+                clusterer.cluster_into(&snap, e, m).to_vec(),
+                snapshot_clusters(&snap, e, m)
+            );
         }
     }
 }

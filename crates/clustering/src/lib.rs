@@ -5,11 +5,13 @@
 //!
 //! * [`dbscan`]: a generic DBSCAN implementation over abstract items with a
 //!   pluggable [`RegionQuery`] neighbourhood provider;
-//! * [`GridIndex`]: a uniform-grid spatial index providing the
-//!   e-neighbourhood searches DBSCAN needs over point snapshots (used by CMC
-//!   and by the CuTS refinement step);
+//! * [`GridIndex`]: a uniform-grid spatial index in a flat CSR layout
+//!   providing the e-neighbourhood searches DBSCAN needs over point
+//!   snapshots (used by CMC and by the CuTS refinement step);
 //! * [`snapshot_clusters`]: snapshot clustering of a
-//!   [`trajectory::Snapshot`] into object-id clusters;
+//!   [`trajectory::Snapshot`] into object-id clusters, and
+//!   [`SnapshotClusterer`]: its reusable-scratch form, allocation-free in
+//!   steady state — what every per-tick engine loop holds on to;
 //! * [`SubTrajectory`] + [`cluster_sub_trajectories`]: the "TRAJ-DBSCAN" of
 //!   the paper's Algorithm 2 — density clustering of *simplified
 //!   sub-trajectories* within one time partition, using the ω distance with
@@ -43,13 +45,18 @@
 pub mod cluster;
 pub mod dbscan;
 pub mod grid;
+#[doc(hidden)]
+pub mod reference;
 pub mod segment;
 pub mod shard;
 
 pub use cluster::Cluster;
-pub use dbscan::{dbscan, dbscan_with_core_flags, Label, RegionQuery};
-pub use grid::{snapshot_clusters, GridIndex};
+pub use dbscan::{
+    dbscan, dbscan_with_core_flags, dbscan_with_core_flags_into, DbscanScratch, Label, RegionQuery,
+};
+pub use grid::{snapshot_clusters, GridIndex, SnapshotClusterer};
 pub use segment::{cluster_sub_trajectories, omega_distance, SegmentDistance, SubTrajectory};
 pub use shard::{
-    merge_shard_clusters, shard_clusters, sharded_snapshot_clusters, ShardClusters, ShardGrid,
+    merge_shard_clusters, shard_clusters, shard_clusters_with, sharded_snapshot_clusters,
+    ShardClusters, ShardGrid, ShardScratch,
 };

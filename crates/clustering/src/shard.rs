@@ -54,7 +54,7 @@
 //! convoy engine claim bit-identical output to sequential CMC.
 
 use crate::cluster::Cluster;
-use crate::dbscan::{dbscan_with_core_flags, labels_to_clusters};
+use crate::dbscan::{dbscan_with_core_flags_into, labels_to_clusters, DbscanScratch};
 use crate::grid::GridIndex;
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
@@ -249,6 +249,29 @@ pub struct ShardClusters {
     pub border_links: Vec<(ObjectId, Vec<ObjectId>)>,
 }
 
+/// Reusable working state for [`shard_clusters_with`]: the shard-local
+/// grid index, the DBSCAN scratch and the input filtering buffers. One
+/// scratch per worker thread, reused across every tick (and every shard the
+/// worker owns), keeps the per-tick shard pass off the allocator for
+/// everything except the [`ShardClusters`] exchange payload itself.
+#[derive(Debug, Clone, Default)]
+pub struct ShardScratch {
+    ids: Vec<ObjectId>,
+    owned: Vec<bool>,
+    near: Vec<bool>,
+    core_flag: Vec<bool>,
+    neigh: Vec<usize>,
+    grid: GridIndex,
+    dbscan: DbscanScratch,
+}
+
+impl ShardScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Runs the shard-local pass for one tick: filters the snapshot to the
 /// shard's owned objects plus its ghost halo, density-clusters that input,
 /// and computes the exact core set and border adjacency of the owned
@@ -256,7 +279,25 @@ pub struct ShardClusters {
 ///
 /// This is the per-worker unit of the sharded convoy engine; it only reads
 /// the snapshot, so workers can run it concurrently for disjoint shards.
+/// One-shot convenience over [`shard_clusters_with`] — per-tick workers
+/// should hold a [`ShardScratch`] and reuse it instead.
 pub fn shard_clusters(
+    snapshot: &Snapshot,
+    grid: &ShardGrid,
+    shard: usize,
+    e: f64,
+    m: usize,
+) -> ShardClusters {
+    shard_clusters_with(&mut ShardScratch::new(), snapshot, grid, shard, e, m)
+}
+
+/// [`shard_clusters`] driving caller-owned scratch buffers: identical
+/// output, but the grid index, DBSCAN state and filter buffers are reused
+/// across calls instead of freshly allocated. Only the returned
+/// [`ShardClusters`] — the worker→coordinator exchange payload — still
+/// allocates.
+pub fn shard_clusters_with(
+    scratch: &mut ShardScratch,
     snapshot: &Snapshot,
     grid: &ShardGrid,
     shard: usize,
@@ -267,28 +308,37 @@ pub fn shard_clusters(
     let halo = 2.0 * e.max(0.0) + slack;
     let near_margin = e.max(0.0) + slack;
     let region = grid.region(shard);
-    let mut ids: Vec<ObjectId> = Vec::new();
-    let mut points: Vec<Point> = Vec::new();
-    let mut owned: Vec<bool> = Vec::new();
-    let mut near: Vec<bool> = Vec::new();
-    for entry in &snapshot.entries {
-        let is_owner = grid.shard_of(&entry.position) == shard;
-        let dist = if is_owner {
-            0.0
-        } else {
-            region.min_distance_to_point(&entry.position)
-        };
-        if is_owner || dist <= halo {
-            ids.push(entry.id);
-            points.push(entry.position);
-            owned.push(is_owner);
-            near.push(dist <= near_margin);
+    let ShardScratch {
+        ids,
+        owned,
+        near,
+        core_flag,
+        neigh,
+        grid: index,
+        dbscan,
+    } = scratch;
+    ids.clear();
+    owned.clear();
+    near.clear();
+    index.rebuild_with(e, |points| {
+        for entry in &snapshot.entries {
+            let is_owner = grid.shard_of(&entry.position) == shard;
+            let dist = if is_owner {
+                0.0
+            } else {
+                region.min_distance_to_point(&entry.position)
+            };
+            if is_owner || dist <= halo {
+                ids.push(entry.id);
+                points.push(entry.position);
+                owned.push(is_owner);
+                near.push(dist <= near_margin);
+            }
         }
-    }
+    });
 
-    let index = GridIndex::build(points, e);
-    let (labels, local_core) = dbscan_with_core_flags(&index, m);
-    let clusters: Vec<Cluster> = labels_to_clusters(&labels)
+    dbscan_with_core_flags_into(index, m, dbscan);
+    let clusters: Vec<Cluster> = labels_to_clusters(dbscan.labels())
         .into_iter()
         .map(|members| members.into_iter().map(|i| ids[i]).collect())
         .collect();
@@ -298,7 +348,14 @@ pub fn shard_clusters(
     // and the only flags consulted below are those of owned points and of
     // the within-`e` neighbours of owned border points, all of which are
     // `near`. Outer-ring ghosts are masked to `false`.
-    let core_flag: Vec<bool> = (0..index.len()).map(|i| near[i] && local_core[i]).collect();
+    core_flag.clear();
+    core_flag.extend(
+        dbscan
+            .core_flags()
+            .iter()
+            .enumerate()
+            .map(|(i, &local)| near[i] && local),
+    );
 
     let mut cores = Vec::new();
     let mut border_links = Vec::new();
@@ -309,11 +366,11 @@ pub fn shard_clusters(
         if core_flag[i] {
             cores.push(ids[i]);
         } else {
-            let links: Vec<ObjectId> = index
-                .range_query(&index.points()[i])
-                .into_iter()
-                .filter(|&j| core_flag[j])
-                .map(|j| ids[j])
+            index.range_query_into(&index.points()[i], neigh);
+            let links: Vec<ObjectId> = neigh
+                .iter()
+                .filter(|&&j| core_flag[j])
+                .map(|&j| ids[j])
                 .collect();
             if !links.is_empty() {
                 border_links.push((ids[i], links));

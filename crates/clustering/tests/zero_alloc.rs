@@ -1,0 +1,172 @@
+//! Allocation regression harness for the snapshot-clustering hot path.
+//!
+//! The CSR grid + scratch-reuse rewrite promises that a *warmed*
+//! [`SnapshotClusterer`] — one whose buffers have grown to the working-set
+//! fixpoint — performs **zero heap allocations** per
+//! [`SnapshotClusterer::cluster_into`] call. This test installs a counting
+//! global allocator and asserts exactly that; any future change that
+//! reintroduces per-tick allocation (a fresh `Vec` per neighbourhood query,
+//! a rebuilt hash map, an allocating sort) fails it immediately.
+//!
+//! The counting allocator is process-global, which is why this test lives in
+//! its own integration-test binary: the `#[global_allocator]` would
+//! otherwise count every other test's allocations too.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use traj_cluster::{snapshot_clusters, SnapshotClusterer};
+use trajectory::database::SnapshotEntry;
+use trajectory::geometry::Point;
+use trajectory::{ObjectId, Snapshot};
+
+/// Forwards to the system allocator, counting every allocation call
+/// (`alloc`, `realloc` growth included — a `Vec` growing its capacity is an
+/// allocation the steady state must not perform).
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// The counter is process-global but the test harness runs tests on
+/// parallel threads; every test takes this lock so no other test's
+/// allocations leak into a measured window.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Deterministic xorshift64* stream, so the snapshots are reproducible
+/// without pulling a RNG dependency into the measured binary.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn coord(&mut self) -> f64 {
+        (self.next() % 10_000) as f64 * 0.01
+    }
+}
+
+/// A "tick": `n` objects scattered over a 100×100 world, id-ordered like
+/// database snapshots are.
+fn snapshot(rng: &mut XorShift, time: i64, n: usize) -> Snapshot {
+    Snapshot {
+        time,
+        entries: (0..n)
+            .map(|i| SnapshotEntry {
+                id: ObjectId(i as u64),
+                position: Point::new(rng.coord(), rng.coord()),
+                interpolated: false,
+            })
+            .collect(),
+    }
+}
+
+#[test]
+fn warmed_clusterer_performs_zero_steady_state_allocations() {
+    let _guard = SERIAL.lock().unwrap();
+    let mut rng = XorShift(0x9e3779b97f4a7c15);
+    // Steady-state workload: 60 ticks of 400 objects (dense enough for real
+    // clusters — e = 3 over a 100×100 world groups most of them).
+    let ticks: Vec<Snapshot> = (0..60).map(|t| snapshot(&mut rng, t, 400)).collect();
+
+    let mut clusterer = SnapshotClusterer::new();
+    // Warm-up: two full passes grow every buffer (ids, points, CSR arrays,
+    // DBSCAN scratch, pair buffer, cluster pool and each pooled cluster's
+    // member vec) to the workload's fixpoint.
+    for pass in 0..2 {
+        for snap in &ticks {
+            let clusters = clusterer.cluster_into(snap, 3.0, 3);
+            assert!(
+                !clusters.is_empty(),
+                "warm-up pass {pass} found no clusters"
+            );
+        }
+    }
+
+    // Measured pass: not a single heap allocation across 60 further ticks.
+    let before = allocations();
+    let mut total_clusters = 0usize;
+    for snap in &ticks {
+        total_clusters += clusterer.cluster_into(snap, 3.0, 3).len();
+    }
+    let after = allocations();
+    assert!(total_clusters > 0, "steady state produced no clusters");
+    assert_eq!(
+        after - before,
+        0,
+        "a warmed SnapshotClusterer must not allocate in steady state \
+         ({} allocations over {} ticks)",
+        after - before,
+        ticks.len()
+    );
+}
+
+#[test]
+fn warmed_clusterer_stays_allocation_free_across_varying_tick_sizes() {
+    let _guard = SERIAL.lock().unwrap();
+    // Shrinking ticks must also be free: every buffer is sized by the
+    // *largest* snapshot seen, so smaller ones fit without growth.
+    let mut rng = XorShift(0x2545f4914f6cdd1d);
+    let sizes = [500usize, 120, 333, 60, 499, 7, 250];
+    let ticks: Vec<Snapshot> = sizes
+        .iter()
+        .enumerate()
+        .map(|(t, &n)| snapshot(&mut rng, t as i64, n))
+        .collect();
+
+    let mut clusterer = SnapshotClusterer::new();
+    for snap in &ticks {
+        clusterer.cluster_into(snap, 3.0, 2);
+    }
+    let before = allocations();
+    for snap in &ticks {
+        clusterer.cluster_into(snap, 3.0, 2);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "shrinking or revisited ticks must reuse the grown buffers"
+    );
+}
+
+#[test]
+fn clusterer_output_still_matches_one_shot_clustering() {
+    let _guard = SERIAL.lock().unwrap();
+    // Sanity inside the counting binary: the allocation-free path is the
+    // same clustering, not a cheaper approximation.
+    let mut rng = XorShift(0xdeadbeefcafef00d);
+    let mut clusterer = SnapshotClusterer::new();
+    for t in 0..10 {
+        let snap = snapshot(&mut rng, t, 150);
+        assert_eq!(
+            clusterer.cluster_into(&snap, 2.5, 3).to_vec(),
+            snapshot_clusters(&snap, 2.5, 3),
+        );
+    }
+}

@@ -34,8 +34,10 @@
 use crate::candidate::CandidateConvoy;
 use crate::query::{Convoy, ConvoyQuery};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
-use traj_cluster::{snapshot_clusters, Cluster};
+use std::collections::hash_map::{DefaultHasher, Entry};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use traj_cluster::{Cluster, SnapshotClusterer};
 use trajectory::{
     Snapshot, SnapshotPolicy, SnapshotSweep, TimeInterval, TimePoint, TrajectoryDatabase,
 };
@@ -81,6 +83,23 @@ pub struct CmcState {
     ticks_ingested: u64,
     gap_closures: u64,
     convoys_closed: u64,
+    /// Reusable snapshot-clustering scratch: one grid index + DBSCAN state
+    /// per fold, so [`CmcState::ingest_snapshot`] allocates nothing in
+    /// steady state.
+    clusterer: SnapshotClusterer,
+    /// Double buffer for the per-tick candidate turnover (swapped with
+    /// `current` at the end of every [`CmcState::ingest_clusters`]).
+    next: Vec<CandidateConvoy>,
+    /// Per-tick dedup index over `next`: hash of `(objects, start)` → first
+    /// `next` index with that hash; `dedup_chain[i]` links further entries
+    /// sharing the hash (`u32::MAX` terminates). Exact — a hash hit is
+    /// always confirmed by full equality — but clone-free, unlike the old
+    /// `HashSet<(Cluster, TimePoint)>` which cloned every candidate's
+    /// object vector per tick.
+    dedup_heads: HashMap<u64, u32>,
+    dedup_chain: Vec<u32>,
+    /// Per-tick "cluster extended some candidate" flags.
+    assigned: Vec<bool>,
 }
 
 /// Counters describing a [`CmcState`]'s life so far — the observability
@@ -117,18 +136,29 @@ impl CmcState {
             ticks_ingested: 0,
             gap_closures: 0,
             convoys_closed: 0,
+            clusterer: SnapshotClusterer::new(),
+            next: Vec::new(),
+            dedup_heads: HashMap::new(),
+            dedup_chain: Vec::new(),
+            assigned: Vec::new(),
         }
     }
 
     /// Ingests the snapshot of one time point: density-clusters it and folds
-    /// the clusters into the candidate chains.
+    /// the clusters into the candidate chains. The clustering reuses the
+    /// state's internal [`SnapshotClusterer`], so a long-lived fold stops
+    /// allocating once its buffers reach the stream's working-set size.
     pub fn ingest_snapshot(&mut self, snapshot: &Snapshot) {
-        let clusters: Vec<Cluster> = if snapshot.len() < self.query.m {
-            Vec::new()
-        } else {
-            snapshot_clusters(snapshot, self.query.e, self.query.m)
-        };
-        self.ingest_clusters(snapshot.time, &clusters);
+        if snapshot.len() < self.query.m {
+            self.ingest_clusters(snapshot.time, &[]);
+            return;
+        }
+        // Detach the clusterer so its borrowed output can be fed back into
+        // `self` (a plain move of empty-capacity headers, no allocation).
+        let mut clusterer = std::mem::take(&mut self.clusterer);
+        let clusters = clusterer.cluster_into(snapshot, self.query.e, self.query.m);
+        self.ingest_clusters(snapshot.time, clusters);
+        self.clusterer = clusterer;
     }
 
     /// Folds one tick's clusters into the candidate chains (Algorithm 1,
@@ -160,37 +190,55 @@ impl CmcState {
         self.last_tick = Some(t);
         self.ticks_ingested += 1;
 
-        let mut next: Vec<CandidateConvoy> = Vec::with_capacity(self.current.len());
-        let mut seen: HashSet<(Cluster, TimePoint)> = HashSet::new();
-        let mut cluster_assigned = vec![false; clusters.len()];
+        self.next.clear();
+        self.dedup_heads.clear();
+        self.dedup_chain.clear();
+        self.assigned.clear();
+        self.assigned.resize(clusters.len(), false);
+        let k = self.query.k as i64;
+        let m = self.query.m;
 
-        for candidate in &self.current {
+        for candidate in self.current.drain(..) {
             let mut extended = false;
             for (ci, cluster) in clusters.iter().enumerate() {
-                if let Some(grown) = candidate.extend_with(cluster, t, self.query.m) {
+                if let Some(grown) = candidate.extend_with(cluster, t, m) {
                     extended = true;
-                    cluster_assigned[ci] = true;
-                    if seen.insert((grown.objects.clone(), grown.start)) {
-                        next.push(grown);
+                    self.assigned[ci] = true;
+                    if dedup_register(
+                        &mut self.dedup_heads,
+                        &mut self.dedup_chain,
+                        &self.next,
+                        &grown.objects,
+                        grown.start,
+                    ) {
+                        self.next.push(grown);
                     }
                 }
             }
-            if !extended && candidate.lifetime() >= self.query.k as i64 {
-                self.closed.push(candidate.clone().into_convoy());
+            if !extended && candidate.lifetime() >= k {
+                self.closed.push(candidate.into_convoy());
                 self.convoys_closed += 1;
             }
         }
 
         for (ci, cluster) in clusters.iter().enumerate() {
-            if !cluster_assigned[ci] {
-                let fresh = CandidateConvoy::new(cluster.clone(), t, t);
-                if seen.insert((fresh.objects.clone(), fresh.start)) {
-                    next.push(fresh);
-                }
+            if !self.assigned[ci]
+                && dedup_register(
+                    &mut self.dedup_heads,
+                    &mut self.dedup_chain,
+                    &self.next,
+                    cluster,
+                    t,
+                )
+            {
+                // The clone is the candidate's own member storage (the
+                // dedup check above runs on the borrowed cluster, so
+                // duplicates never allocate).
+                self.next.push(CandidateConvoy::new(cluster.clone(), t, t));
             }
         }
 
-        self.current = next;
+        std::mem::swap(&mut self.current, &mut self.next);
         self.peak_candidates = self.peak_candidates.max(self.current.len());
     }
 
@@ -309,6 +357,54 @@ impl CmcState {
         self.close_all_candidates();
         let stats = self.stats();
         (self.closed, stats)
+    }
+}
+
+/// Registers `(objects, start)` in a tick's candidate-dedup index. Returns
+/// `true` when the pair was new — the caller must then push the candidate
+/// onto `next` (the registration reserves exactly that index); `false`
+/// means an equal candidate is already in `next`.
+///
+/// The index is a hash-head map plus an intra-`next` collision chain: a
+/// hash hit is always confirmed by full `(objects, start)` equality against
+/// the stored candidates, so the dedup is exact without ever cloning an
+/// object vector into a set (the old `HashSet<(Cluster, TimePoint)>`
+/// cloned every surviving candidate's members once per tick).
+fn dedup_register(
+    heads: &mut HashMap<u64, u32>,
+    chain: &mut Vec<u32>,
+    next: &[CandidateConvoy],
+    objects: &Cluster,
+    start: TimePoint,
+) -> bool {
+    debug_assert_eq!(chain.len(), next.len());
+    let mut hasher = DefaultHasher::new();
+    objects.members().hash(&mut hasher);
+    start.hash(&mut hasher);
+    let idx = next.len() as u32;
+    match heads.entry(hasher.finish()) {
+        Entry::Occupied(head) => {
+            let mut i = *head.get();
+            loop {
+                let existing = &next[i as usize];
+                if existing.start == start && existing.objects == *objects {
+                    return false;
+                }
+                let link = chain[i as usize];
+                if link == u32::MAX {
+                    break;
+                }
+                i = link;
+            }
+            chain[i as usize] = idx;
+            chain.push(u32::MAX);
+            true
+        }
+        Entry::Vacant(slot) => {
+            slot.insert(idx);
+            chain.push(u32::MAX);
+            true
+        }
     }
 }
 
@@ -512,12 +608,16 @@ pub fn cmc_parallel_windowed_with_stats(
             .iter()
             .map(|&partition| {
                 scope.spawn(move || {
+                    // One clustering scratch per worker, reused across every
+                    // tick of its partition; only the collected cluster
+                    // lists themselves are materialized for the fold.
+                    let mut clusterer = SnapshotClusterer::new();
                     SnapshotSweep::new(db, partition, SnapshotPolicy::Interpolate)
                         .map(|snapshot| {
                             let clusters = if snapshot.len() < query.m {
                                 Vec::new()
                             } else {
-                                snapshot_clusters(&snapshot, query.e, query.m)
+                                clusterer.cluster_into(&snapshot, query.e, query.m).to_vec()
                             };
                             (snapshot.time, clusters)
                         })

@@ -9,7 +9,7 @@
 
 use crate::query::Convoy;
 use serde::{Deserialize, Serialize};
-use traj_cluster::{snapshot_clusters, Cluster};
+use traj_cluster::{Cluster, SnapshotClusterer};
 use trajectory::{SnapshotPolicy, TimePoint, TrajectoryDatabase};
 
 /// Parameters of the MC2 baseline.
@@ -50,13 +50,17 @@ pub fn mc2(db: &TrajectoryDatabase, config: &Mc2Config) -> Vec<Convoy> {
     };
     let mut results: Vec<Convoy> = Vec::new();
     let mut current: Vec<MovingCluster> = Vec::new();
+    // Snapshot-clustering scratch reused across the whole domain sweep.
+    let mut clusterer = SnapshotClusterer::new();
 
     for t in domain.iter() {
         let snapshot = db.snapshot(t, SnapshotPolicy::Interpolate);
         let clusters: Vec<Cluster> = if snapshot.len() < config.m {
             Vec::new()
         } else {
-            snapshot_clusters(&snapshot, config.e, config.m)
+            clusterer
+                .cluster_into(&snapshot, config.e, config.m)
+                .to_vec()
         };
 
         let mut next: Vec<MovingCluster> = Vec::new();

@@ -32,7 +32,9 @@
 
 use crate::engine::{CmcEngine, CmcState, MAX_PARALLEL_THREADS};
 use crate::query::{Convoy, ConvoyQuery};
-use traj_cluster::shard::{merge_shard_clusters, shard_clusters, ShardClusters, ShardGrid};
+use traj_cluster::shard::{
+    merge_shard_clusters, shard_clusters_with, ShardClusters, ShardGrid, ShardScratch,
+};
 use trajectory::geometry::BoundingBox;
 use trajectory::{Snapshot, SnapshotPolicy, SnapshotSweep, TimeInterval, TrajectoryDatabase};
 
@@ -115,6 +117,9 @@ pub fn cmc_sharded_windowed_with_stats(
             .map(|w| {
                 scope.spawn(move || {
                     let mine: Vec<usize> = (w..shard_count).step_by(threads).collect();
+                    // One shard-clustering scratch per worker, reused across
+                    // every tick and every shard the worker owns.
+                    let mut scratch = ShardScratch::new();
                     snapshots
                         .iter()
                         .map(|snapshot| {
@@ -124,7 +129,16 @@ pub fn cmc_sharded_windowed_with_stats(
                                 Vec::new()
                             } else {
                                 mine.iter()
-                                    .map(|&s| shard_clusters(snapshot, grid, s, query.e, query.m))
+                                    .map(|&s| {
+                                        shard_clusters_with(
+                                            &mut scratch,
+                                            snapshot,
+                                            grid,
+                                            s,
+                                            query.e,
+                                            query.m,
+                                        )
+                                    })
                                     .collect()
                             }
                         })

@@ -13,7 +13,12 @@
 //! `cargo test` the binary exits immediately, so benches are compile- and
 //! link-checked without burning test time.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// `(benchmark name, mean ns/iter)` estimates collected over the run, for
+/// the optional JSON report (see [`write_json_report`]).
+static ESTIMATES: Mutex<Vec<(String, u128)>> = Mutex::new(Vec::new());
 
 /// Entry point handed to each `criterion_group!` target function.
 pub struct Criterion {
@@ -22,7 +27,15 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        // `--quick` mirrors real criterion's quick mode: a minimal sample
+        // count so CI can *execute* every bench (catching panics and API
+        // rot) without paying for a measurement-grade run.
+        let sample_size = if std::env::args().any(|a| a == "--quick") {
+            2
+        } else {
+            10
+        };
+        Criterion { sample_size }
     }
 }
 
@@ -148,8 +161,49 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
     };
     f(&mut bencher);
     match bencher.mean {
-        Some(mean) => println!("bench {name:<60} {:>12} ns/iter", mean.as_nanos()),
+        Some(mean) => {
+            println!("bench {name:<60} {:>12} ns/iter", mean.as_nanos());
+            ESTIMATES
+                .lock()
+                .expect("estimate log poisoned")
+                .push((name.to_string(), mean.as_nanos()));
+        }
         None => println!("bench {name:<60} (no iter() call)"),
+    }
+}
+
+/// Writes every estimate collected so far as a JSON object
+/// (`{"benchmark name": mean_ns_per_iter, ...}`) to the path named by the
+/// `CRITERION_JSON` environment variable; a no-op when it is unset.
+/// [`criterion_main!`] calls this after the groups finish, which is how
+/// `BENCH_baseline.json` files are produced:
+///
+/// ```sh
+/// CRITERION_JSON=out.json cargo bench -p convoy-bench --bench micro_primitives
+/// ```
+pub fn write_json_report() {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let estimates = ESTIMATES.lock().expect("estimate log poisoned");
+    let mut out = String::from("{\n");
+    for (i, (name, ns)) in estimates.iter().enumerate() {
+        let comma = if i + 1 < estimates.len() { "," } else { "" };
+        let escaped: String = name
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                '\n' => vec!['\\', 'n'],
+                _ => vec![c],
+            })
+            .collect();
+        out.push_str(&format!("  \"{escaped}\": {ns}{comma}\n"));
+    }
+    out.push_str("}\n");
+    if let Err(err) = std::fs::write(&path, out) {
+        eprintln!("failed to write {path}: {err}");
+    } else {
+        println!("wrote criterion estimates to {path}");
     }
 }
 
@@ -186,6 +240,7 @@ macro_rules! criterion_main {
                 return;
             }
             $( $group(); )+
+            $crate::write_json_report();
         }
     };
 }
