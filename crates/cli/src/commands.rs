@@ -68,15 +68,22 @@ COMMANDS:
               --stats additionally prints the CmcState fold counters.
     stream    FILE|- --m N --k N --e F [--method cuts|cuts-plus|cuts-star]
               [--delta F] [--lambda N] [--horizon H] [--max-candidates N]
-              [--limit N]
+              [--limit N] [--strict]
+              [--checkpoint-path P [--checkpoint-every K]] [--resume P]
               Streaming discovery: feed samples through the incremental
               CuTS pipeline in time order, emitting convoys as they
               confirm. FILE is replayed in time order; `-` reads a live
               `object_id,t,x,y` feed from stdin (requires explicit
               --delta and --lambda; malformed and out-of-order lines are
-              rejected and counted, not fatal). --horizon H evicts chains
+              rejected and counted, not fatal — --strict makes them fatal
+              with the offending line number). --horizon H evicts chains
               older than H ticks and refuses to bridge feed gaps larger
-              than H.
+              than H. --checkpoint-path P atomically snapshots the stream
+              to P every K closed partitions (K defaults to 1); --resume P
+              restores a snapshot and continues — replaying the same feed
+              skips everything the checkpoint already ingested. --resume
+              conflicts with the query/pipeline flags (they ride in the
+              checkpoint).
     simplify  FILE --delta F [--method dp|dp-plus|dp-star]
               Report the vertex reduction of trajectory simplification.
     compare   FILE --m N --k N --e F [--theta F]
@@ -345,92 +352,144 @@ pub fn stream_command(args: &ParsedArgs) -> Result<String, CommandError> {
         "horizon",
         "max-candidates",
         "limit",
+        "checkpoint-path",
+        "checkpoint-every",
+        "resume",
+        "strict",
     ])?;
     let path = args
         .positional
         .first()
         .ok_or_else(|| CommandError("missing input (CSV path or `-` for stdin)".into()))?
         .clone();
-    let query = query_from_args(args)?;
-    let method = parse_method(args.get("method").unwrap_or("cuts"))?;
-    let Some(variant) = method.cuts_variant() else {
-        return Err(CommandError(
-            "streaming discovery runs the CuTS pipeline; pick --method cuts, cuts-plus or cuts-star"
-                .into(),
-        ));
-    };
 
-    let mut eviction = EvictionPolicy::unbounded();
-    if let Some(horizon) = args.get("horizon") {
-        let horizon: i64 = horizon
-            .parse()
-            .map_err(|_| CommandError(format!("cannot parse --horizon value `{horizon}`")))?;
-        if horizon < 1 {
-            return Err(CommandError("--horizon must be at least 1 tick".into()));
-        }
-        eviction = eviction.with_horizon(horizon);
+    let resume = args.get("resume").map(str::to_string);
+    let checkpoint_path = args.get("checkpoint-path").map(str::to_string);
+    let checkpoint_every: u64 = args.get_parsed_or("checkpoint-every", 1)?;
+    if args.get("checkpoint-every").is_some() && checkpoint_path.is_none() {
+        return Err(CommandError(
+            "--checkpoint-every requires --checkpoint-path".into(),
+        ));
     }
-    if let Some(max) = args.get("max-candidates") {
-        let max: usize = max
-            .parse()
-            .map_err(|_| CommandError(format!("cannot parse --max-candidates value `{max}`")))?;
-        if max == 0 {
-            return Err(CommandError("--max-candidates must be positive".into()));
-        }
-        eviction = eviction.with_max_candidates(max);
+    if checkpoint_every == 0 {
+        return Err(CommandError(
+            "--checkpoint-every must be at least 1 partition".into(),
+        ));
     }
-    let delta_arg: Option<f64> = match args.get("delta") {
-        Some(v) => Some(
-            v.parse()
-                .map_err(|_| CommandError(format!("cannot parse --delta value `{v}`")))?,
-        ),
-        None => None,
-    };
-    let lambda_arg: Option<usize> = match args.get("lambda") {
-        Some(v) => Some(
-            v.parse()
-                .map_err(|_| CommandError(format!("cannot parse --lambda value `{v}`")))?,
-        ),
-        None => None,
-    };
+    let strict = args.has_flag("strict");
     let limit: usize = args.get_parsed_or("limit", 50)?;
 
-    // Assemble the feed: a file is replayed in time order (with batch-style
-    // automatic δ/λ when not given); stdin is consumed line by line and
-    // needs both parameters up front.
-    let (config, samples) = if path == "-" {
-        let (Some(delta), Some(lambda)) = (delta_arg, lambda_arg) else {
+    // Assemble the stream. A resumed session carries its entire
+    // configuration inside the checkpoint, so the query/pipeline flags
+    // conflict with --resume rather than being silently overridden.
+    let (mut stream, samples) = if let Some(ckpt) = &resume {
+        for key in [
+            "m",
+            "k",
+            "e",
+            "method",
+            "delta",
+            "lambda",
+            "horizon",
+            "max-candidates",
+        ] {
+            if args.get(key).is_some() || args.has_flag(key) {
+                return Err(CommandError(format!(
+                    "--{key} conflicts with --resume (parameters come from the checkpoint)"
+                )));
+            }
+        }
+        let stream = ConvoyStream::restore(ckpt)
+            .map_err(|e| CommandError(format!("cannot resume from {ckpt}: {e}")))?;
+        let samples = if path == "-" {
+            None
+        } else {
+            Some(feed_order_samples(&read_csv_file(&path)?))
+        };
+        (stream, samples)
+    } else {
+        let query = query_from_args(args)?;
+        let method = parse_method(args.get("method").unwrap_or("cuts"))?;
+        let Some(variant) = method.cuts_variant() else {
             return Err(CommandError(
-                "reading from stdin requires explicit --delta and --lambda \
-                 (automatic selection needs the whole database)"
+                "streaming discovery runs the CuTS pipeline; pick --method cuts, cuts-plus or cuts-star"
                     .into(),
             ));
         };
-        let config = StreamConfig::new(query, delta, lambda).with_variant(variant);
-        (config, None)
-    } else {
-        // Same δ/λ derivation and feed order as `ReplayStream` — the path
-        // the equivalence harness tests — taken wholesale so the CLI can
-        // never drift from it.
-        let db = read_csv_file(&path)?;
-        let mut cuts = CutsConfig::new(variant);
-        if let Some(delta) = delta_arg {
-            cuts = cuts.with_delta(delta);
-        }
-        if let Some(lambda) = lambda_arg {
-            cuts = cuts.with_lambda(lambda);
-        }
-        (
-            replay_config(&cuts, &db, &query),
-            Some(feed_order_samples(&db)),
-        )
-    };
-    let config = config.with_eviction(eviction);
-    let mut stream = ConvoyStream::new(config);
 
+        let mut eviction = EvictionPolicy::unbounded();
+        if let Some(horizon) = args.get("horizon") {
+            let horizon: i64 = horizon
+                .parse()
+                .map_err(|_| CommandError(format!("cannot parse --horizon value `{horizon}`")))?;
+            if horizon < 1 {
+                return Err(CommandError("--horizon must be at least 1 tick".into()));
+            }
+            eviction = eviction.with_horizon(horizon);
+        }
+        if let Some(max) = args.get("max-candidates") {
+            let max: usize = max.parse().map_err(|_| {
+                CommandError(format!("cannot parse --max-candidates value `{max}`"))
+            })?;
+            if max == 0 {
+                return Err(CommandError("--max-candidates must be positive".into()));
+            }
+            eviction = eviction.with_max_candidates(max);
+        }
+        let delta_arg: Option<f64> = match args.get("delta") {
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| CommandError(format!("cannot parse --delta value `{v}`")))?,
+            ),
+            None => None,
+        };
+        let lambda_arg: Option<usize> = match args.get("lambda") {
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| CommandError(format!("cannot parse --lambda value `{v}`")))?,
+            ),
+            None => None,
+        };
+
+        // Assemble the feed: a file is replayed in time order (with
+        // batch-style automatic δ/λ when not given); stdin is consumed line
+        // by line and needs both parameters up front.
+        let (config, samples) = if path == "-" {
+            let (Some(delta), Some(lambda)) = (delta_arg, lambda_arg) else {
+                return Err(CommandError(
+                    "reading from stdin requires explicit --delta and --lambda \
+                     (automatic selection needs the whole database)"
+                        .into(),
+                ));
+            };
+            let config = StreamConfig::new(query, delta, lambda).with_variant(variant);
+            (config, None)
+        } else {
+            // Same δ/λ derivation and feed order as `ReplayStream` — the
+            // path the equivalence harness tests — taken wholesale so the
+            // CLI can never drift from it.
+            let db = read_csv_file(&path)?;
+            let mut cuts = CutsConfig::new(variant);
+            if let Some(delta) = delta_arg {
+                cuts = cuts.with_delta(delta);
+            }
+            if let Some(lambda) = lambda_arg {
+                cuts = cuts.with_lambda(lambda);
+            }
+            (
+                replay_config(&cuts, &db, &query),
+                Some(feed_order_samples(&db)),
+            )
+        };
+        (ConvoyStream::new(config.with_eviction(eviction)), samples)
+    };
+
+    let config = *stream.config();
+    let query = config.query;
+    let eviction = config.eviction;
     let mut out = format!(
         "{path}: streaming discovery ({} m={} k={} e={} δ={:.2} λ={}{}{})\n",
-        variant,
+        config.variant,
         query.m,
         query.k,
         query.e,
@@ -445,6 +504,9 @@ pub fn stream_command(args: &ParsedArgs) -> Result<String, CommandError> {
             .map(|n| format!(" max-candidates={n}"))
             .unwrap_or_default(),
     );
+    if let Some(ckpt) = &resume {
+        out.push_str(&format!("resumed from {ckpt}\n"));
+    }
 
     let mut confirmed = 0usize;
     let mut rejected = 0u64;
@@ -460,14 +522,40 @@ pub fn stream_command(args: &ParsedArgs) -> Result<String, CommandError> {
         // unbounded session stays bounded.
         stream.drain_candidates();
     };
+    // Checkpoints are cut at partition closes — the only moments where the
+    // stream's state is a clean resumable frontier.
+    let mut last_checkpoint_at = stream.stats().partitions_closed;
+    let mut maybe_checkpoint = |stream: &mut ConvoyStream| -> Result<(), CommandError> {
+        let Some(ckpt) = &checkpoint_path else {
+            return Ok(());
+        };
+        let closed = stream.stats().partitions_closed;
+        if closed >= last_checkpoint_at + checkpoint_every {
+            stream
+                .checkpoint(ckpt)
+                .map_err(|e| CommandError(format!("cannot write checkpoint {ckpt}: {e}")))?;
+            last_checkpoint_at = closed;
+        }
+        Ok(())
+    };
 
     match samples {
         Some(samples) => {
             for (id, p) in samples {
-                stream
-                    .push(id, p.t, p.x, p.y)
-                    .expect("a sorted database replay is a valid feed");
+                match stream.push(id, p.t, p.x, p.y) {
+                    Ok(()) => {}
+                    // On --resume the file is replayed from the top; the
+                    // restored validator rejects exactly the samples the
+                    // checkpoint already ingested, which is how the replay
+                    // fast-forwards to where it left off.
+                    Err(_) if resume.is_some() => {
+                        rejected += 1;
+                        continue;
+                    }
+                    Err(e) => panic!("a sorted database replay is a valid feed: {e}"),
+                }
                 emit(&mut stream, &mut out);
+                maybe_checkpoint(&mut stream)?;
             }
         }
         None => {
@@ -495,23 +583,35 @@ pub fn stream_command(args: &ParsedArgs) -> Result<String, CommandError> {
                 let line = line?;
                 // A long-lived session must survive one garbled line the
                 // same way it survives an out-of-order sample: reject,
-                // count, continue.
+                // count, continue — unless --strict asked for fail-fast, in
+                // which case the error names the offending line (everything
+                // confirmed so far has already been flushed to stdout).
                 let parsed = match parse_csv_line(&line, line_no + 1) {
                     Ok(Some(sample)) => sample,
                     Ok(None) => continue,
-                    Err(_) => {
+                    Err(e) => {
+                        if strict {
+                            return Err(CommandError(format!("invalid feed: {e}")));
+                        }
                         rejected += 1;
                         continue;
                     }
                 };
                 let (id, t, x, y) = parsed;
-                if stream.push(id, t, x, y).is_err() {
+                if let Err(e) = stream.push(id, t, x, y) {
+                    if strict {
+                        return Err(CommandError(format!(
+                            "invalid feed at line {}: {e}",
+                            line_no + 1
+                        )));
+                    }
                     rejected += 1;
                     continue;
                 }
                 emit(&mut stream, &mut out);
                 live_print(&out);
                 out.clear();
+                maybe_checkpoint(&mut stream)?;
             }
         }
     }

@@ -324,6 +324,144 @@ fn stream_validates_its_arguments() {
         .stderr_contains("--horizon");
 }
 
+/// A stdin feed with a convoy that confirms mid-feed: a pair travels
+/// together for t=0..=9, separates for t=10..=29 (closing the convoy well
+/// before EOF), then one out-of-order straggler arrives as the final line.
+fn feed_with_late_straggler() -> (String, usize) {
+    let mut feed = String::from("object_id,t,x,y\n");
+    for t in 0..30 {
+        let y2 = if t < 10 { 0.5 } else { 100.0 };
+        feed.push_str(&format!("1,{t},{t}.0,0.0\n"));
+        feed.push_str(&format!("2,{t},{t}.0,{y2}\n"));
+    }
+    feed.push_str("1,5,5.0,0.0\n");
+    (feed, 62)
+}
+
+#[test]
+fn stream_strict_fails_on_bad_line_after_flushing_confirmed_convoys() {
+    let (feed, bad_line) = feed_with_late_straggler();
+    let assert = convoy()
+        .args(["stream", "-", "--m", "2", "--k", "4", "--e", "1"])
+        .args(["--delta", "0.2", "--lambda", "4", "--strict"])
+        .write_stdin(feed.clone())
+        .assert()
+        .failure()
+        .code(1)
+        .stderr_contains(format!("line {bad_line}"))
+        .stderr_contains("out-of-order")
+        // The convoy confirmed before the bad line was already flushed.
+        .stdout_contains("⟨{o1, o2}, [0, 9]⟩");
+    let stdout = String::from_utf8_lossy(&assert.get_output().stdout).to_string();
+    assert!(
+        !stdout.contains("confirmed convoys:"),
+        "strict failure must not print the end-of-stream summary:\n{stdout}"
+    );
+    // Without --strict the same feed finishes, counting the reject.
+    convoy()
+        .args(["stream", "-", "--m", "2", "--k", "4", "--e", "1"])
+        .args(["--delta", "0.2", "--lambda", "4"])
+        .write_stdin(feed)
+        .assert()
+        .success()
+        .stdout_contains("⟨{o1, o2}, [0, 9]⟩")
+        .stdout_contains("rejected samples: 1");
+}
+
+/// The `stats:` and `partitions closed:` summary lines of a stream report —
+/// the cumulative counters a resumed run must reproduce byte for byte.
+fn summary_lines(stdout: &[u8]) -> Vec<String> {
+    String::from_utf8_lossy(stdout)
+        .lines()
+        .filter(|l| l.starts_with("stats:") || l.starts_with("partitions closed:"))
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn stream_checkpoint_then_resume_reproduces_the_straight_run_counters() {
+    let data = temp_path("ckpt-data.csv");
+    let ckpt = temp_path("ckpt-state.snap");
+    let _ = std::fs::remove_file(&ckpt);
+    convoy()
+        .args(["generate", "--profile", "truck", "--scale", "0.02"])
+        .args(["--seed", "11", "--out", data.to_str().unwrap()])
+        .assert()
+        .success();
+    let query = ["--m", "3", "--k", "5", "--e", "10"];
+
+    let straight = convoy()
+        .args(["stream", data.to_str().unwrap()])
+        .args(query)
+        .assert()
+        .success();
+    let expected = summary_lines(&straight.get_output().stdout);
+    assert_eq!(expected.len(), 2, "summary lines present");
+
+    convoy()
+        .args(["stream", data.to_str().unwrap()])
+        .args(query)
+        .args(["--checkpoint-path", ckpt.to_str().unwrap()])
+        .assert()
+        .success();
+    assert!(ckpt.exists(), "checkpoint file written");
+    let tmp = ckpt.with_extension("snap.tmp");
+    assert!(!tmp.exists(), "temp file renamed away, not left behind");
+
+    // Resuming and replaying the same feed fast-forwards past everything the
+    // checkpoint already ingested and lands on identical cumulative stats.
+    let resumed = convoy()
+        .args(["stream", data.to_str().unwrap()])
+        .args(["--resume", ckpt.to_str().unwrap()])
+        .assert()
+        .success()
+        .stdout_contains("resumed from");
+    assert_eq!(summary_lines(&resumed.get_output().stdout), expected);
+}
+
+#[test]
+fn stream_checkpoint_flags_are_validated() {
+    let path = temp_path("ckpt-flags.csv");
+    std::fs::write(&path, "object_id,t,x,y\n1,0,0.0,0.0\n1,1,1.0,0.0\n").unwrap();
+    // --resume carries its configuration; query flags conflict.
+    let ckpt = temp_path("ckpt-flags.snap");
+    convoy()
+        .args(["stream", path.to_str().unwrap()])
+        .args(["--resume", ckpt.to_str().unwrap(), "--m", "2"])
+        .assert()
+        .failure()
+        .code(1)
+        .stderr_contains("conflicts with --resume");
+    // --checkpoint-every is meaningless without a path.
+    convoy()
+        .args(["stream", path.to_str().unwrap()])
+        .args([
+            "--m",
+            "2",
+            "--k",
+            "2",
+            "--e",
+            "1",
+            "--checkpoint-every",
+            "3",
+        ])
+        .assert()
+        .failure()
+        .code(1)
+        .stderr_contains("--checkpoint-every requires --checkpoint-path");
+    // A garbage checkpoint is a clean error, not a panic.
+    let garbage = temp_path("ckpt-garbage.snap");
+    std::fs::write(&garbage, b"this is not a checkpoint").unwrap();
+    convoy()
+        .args(["stream", path.to_str().unwrap()])
+        .args(["--resume", garbage.to_str().unwrap()])
+        .assert()
+        .failure()
+        .code(1)
+        .stderr_contains("cannot resume from")
+        .stderr_contains("bad magic");
+}
+
 #[test]
 fn generate_stats_discover_pipeline_succeeds() {
     let path = temp_path("pipeline.csv");

@@ -69,6 +69,21 @@ pub struct CandidateChain {
     partitions_folded: u64,
 }
 
+/// A serializable view of a [`CandidateChain`]'s resumable state (open and
+/// undrained chains plus counters; the query is configuration and comes back
+/// from the caller on restore).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateChainSnapshot {
+    /// Open chains, in fold order.
+    pub current: Vec<CandidateConvoy>,
+    /// Chains closed but not yet drained.
+    pub closed: Vec<CandidateConvoy>,
+    /// Largest number of simultaneously open chains observed.
+    pub peak_open: usize,
+    /// Partitions folded so far.
+    pub partitions_folded: u64,
+}
+
 impl CandidateChain {
     /// Creates an empty chain for `query`.
     pub fn new(query: &ConvoyQuery) -> Self {
@@ -78,6 +93,27 @@ impl CandidateChain {
             closed: Vec::new(),
             peak_open: 0,
             partitions_folded: 0,
+        }
+    }
+
+    /// Exports the resumable state for checkpointing.
+    pub fn export_state(&self) -> CandidateChainSnapshot {
+        CandidateChainSnapshot {
+            current: self.current.clone(),
+            closed: self.closed.clone(),
+            peak_open: self.peak_open,
+            partitions_folded: self.partitions_folded,
+        }
+    }
+
+    /// Rebuilds a chain for `query` from an exported view.
+    pub fn from_state(query: &ConvoyQuery, snapshot: CandidateChainSnapshot) -> Self {
+        CandidateChain {
+            query: *query,
+            current: snapshot.current,
+            closed: snapshot.closed,
+            peak_open: snapshot.peak_open,
+            partitions_folded: snapshot.partitions_folded,
         }
     }
 

@@ -181,6 +181,41 @@ impl RefineFold {
         self.prev = Some((window, coverage));
     }
 
+    /// Exports the resumable state for checkpointing. The eviction policy is
+    /// configuration, not state: [`RefineFold::from_state`] takes it again
+    /// from the caller, so only the cursor/coverage/counter state is here.
+    pub fn export_state(&self) -> RefineFoldSnapshot {
+        RefineFoldSnapshot {
+            state: self.state.export_state(),
+            prev: self
+                .prev
+                .as_ref()
+                .map(|(window, coverage)| (*window, coverage.iter().copied().collect())),
+            last_tick: self.last_tick,
+            evicted: self.evicted,
+        }
+    }
+
+    /// Rebuilds a fold for `query` with the given eviction policy from an
+    /// exported view.
+    pub fn from_state(
+        query: &ConvoyQuery,
+        horizon: Option<i64>,
+        max_candidates: Option<usize>,
+        snapshot: RefineFoldSnapshot,
+    ) -> Self {
+        RefineFold {
+            state: CmcState::from_state(query, snapshot.state),
+            prev: snapshot
+                .prev
+                .map(|(window, coverage)| (window, coverage.into_iter().collect())),
+            last_tick: snapshot.last_tick,
+            horizon,
+            max_candidates,
+            evicted: snapshot.evicted,
+        }
+    }
+
     /// Convoys whose chains closed since the last drain (the streaming
     /// consumption path).
     pub fn drain_closed(&mut self) -> Vec<Convoy> {
@@ -215,6 +250,23 @@ impl RefineFold {
             evicted,
         }
     }
+}
+
+/// A serializable view of a [`RefineFold`]'s resumable state: the inner
+/// [`CmcState`] view, the held-back boundary partition (window + coverage,
+/// the coverage as a sorted object list), the fold cursor, and the eviction
+/// counter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefineFoldSnapshot {
+    /// The inner CMC state view.
+    pub state: crate::engine::CmcStateSnapshot,
+    /// The last pushed partition's window and coverage (objects ascending),
+    /// if a boundary tick is still held back.
+    pub prev: Option<(TimeInterval, Vec<ObjectId>)>,
+    /// The last folded tick.
+    pub last_tick: Option<TimePoint>,
+    /// Chains force-closed by the eviction policy so far.
+    pub evicted: u64,
 }
 
 /// What a finished [`RefineFold`] hands back.

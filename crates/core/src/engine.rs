@@ -124,6 +124,29 @@ pub struct CmcStats {
     pub convoys_closed: u64,
 }
 
+/// A serializable view of a [`CmcState`]'s resumable state: the open
+/// candidate chains, the not-yet-drained output, and the lifetime counters.
+/// Per-tick scratch (the clusterer, the dedup index, the double buffer) is
+/// deliberately absent — a restored state rebuilds it empty, which is
+/// output-neutral.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmcStateSnapshot {
+    /// Open candidate chains, in fold order.
+    pub current: Vec<CandidateConvoy>,
+    /// Convoys closed but not yet drained.
+    pub closed: Vec<Convoy>,
+    /// Largest number of simultaneously open chains observed.
+    pub peak_candidates: usize,
+    /// The last ingested tick.
+    pub last_tick: Option<TimePoint>,
+    /// Number of ticks ingested so far.
+    pub ticks_ingested: u64,
+    /// Chains force-closed by feed gaps.
+    pub gap_closures: u64,
+    /// Convoys closed over the state's lifetime.
+    pub convoys_closed: u64,
+}
+
 impl CmcState {
     /// Creates an empty state for `query`.
     pub fn new(query: &ConvoyQuery) -> Self {
@@ -343,6 +366,35 @@ impl CmcState {
             }
         }
         excess
+    }
+
+    /// Exports the resumable state for checkpointing. The inverse of
+    /// [`CmcState::from_state`]: `from_state(q, s.export_state())` continues
+    /// bit-identically to `s` under the same ingest sequence.
+    pub fn export_state(&self) -> CmcStateSnapshot {
+        CmcStateSnapshot {
+            current: self.current.clone(),
+            closed: self.closed.clone(),
+            peak_candidates: self.peak_candidates,
+            last_tick: self.last_tick,
+            ticks_ingested: self.ticks_ingested,
+            gap_closures: self.gap_closures,
+            convoys_closed: self.convoys_closed,
+        }
+    }
+
+    /// Rebuilds a state for `query` from an exported view, with fresh (empty)
+    /// scratch buffers.
+    pub fn from_state(query: &ConvoyQuery, snapshot: CmcStateSnapshot) -> Self {
+        let mut state = CmcState::new(query);
+        state.current = snapshot.current;
+        state.closed = snapshot.closed;
+        state.peak_candidates = snapshot.peak_candidates;
+        state.last_tick = snapshot.last_tick;
+        state.ticks_ingested = snapshot.ticks_ingested;
+        state.gap_closures = snapshot.gap_closures;
+        state.convoys_closed = snapshot.convoys_closed;
+        state
     }
 
     /// Ends the stream: flushes candidates still open (the window boundary

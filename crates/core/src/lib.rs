@@ -65,11 +65,17 @@ pub mod shard;
 
 pub use candidate::CandidateConvoy;
 pub use cmc::{cmc, cmc_windowed};
-pub use cuts::partition::{cluster_partition, CandidateChain, PartitionClusters};
-pub use cuts::refine::{refine_partitions, restrict_snapshot, FoldOutcome, RefineFold};
+pub use cuts::partition::{
+    cluster_partition, CandidateChain, CandidateChainSnapshot, PartitionClusters,
+};
+pub use cuts::refine::{
+    refine_partitions, restrict_snapshot, FoldOutcome, RefineFold, RefineFoldSnapshot,
+};
 pub use cuts::{CutsConfig, CutsVariant};
 pub use discovery::{Discovery, DiscoveryOutcome, Method};
-pub use engine::{cmc_parallel, cmc_parallel_windowed, CmcEngine, CmcState, CmcStats};
+pub use engine::{
+    cmc_parallel, cmc_parallel_windowed, CmcEngine, CmcState, CmcStateSnapshot, CmcStats,
+};
 pub use mc2::{mc2, Mc2Config};
 pub use metrics::{refinement_unit, DiscoveryStats, StageTimings};
 pub use params::{auto_delta, auto_lambda};

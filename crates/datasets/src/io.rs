@@ -32,39 +32,54 @@ pub fn write_csv_file<P: AsRef<Path>>(db: &TrajectoryDatabase, path: P) -> std::
 /// Parses one CSV line into an `(object_id, t, x, y)` sample.
 ///
 /// Returns `Ok(None)` for skippable lines: blanks, `#` comments, and a
-/// header on line 1 (detected by a non-numeric timestamp field). Exposed so
-/// line-at-a-time consumers — the CLI's stdin streaming mode — share the
-/// exact grammar of [`read_csv`].
+/// header on line 1 (recognized only when *no* field parses numerically, so
+/// a malformed first data row is an error rather than a silent skip). Lines
+/// may end in CRLF. The fields are split without allocating — this runs once
+/// per sample on the live-feed ingest path. Exposed so line-at-a-time
+/// consumers — the CLI's stdin streaming mode — share the exact grammar of
+/// [`read_csv`].
 pub fn parse_csv_line(line: &str, line_no: usize) -> Result<Option<(ObjectId, i64, f64, f64)>> {
     let trimmed = line.trim();
     if trimmed.is_empty() || trimmed.starts_with('#') {
         return Ok(None);
     }
-    let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
-    if fields.len() != 4 {
+    let mut fields = trimmed.split(',').map(str::trim);
+    let (Some(id_field), Some(t_field), Some(x_field), Some(y_field), None) = (
+        fields.next(),
+        fields.next(),
+        fields.next(),
+        fields.next(),
+        fields.next(),
+    ) else {
         return Err(TrajectoryError::Parse {
             line: line_no,
-            message: format!("expected 4 fields, found {}", fields.len()),
+            message: format!("expected 4 fields, found {}", trimmed.split(',').count()),
         });
-    }
-    // Header detection: skip the first line when its timestamp field is
-    // not numeric.
-    if line_no == 1 && fields[1].parse::<i64>().is_err() {
+    };
+    // Header detection: only line 1 qualifies, and only when every field is
+    // non-numeric. A first data row with one bad field (say, a mistyped
+    // timestamp next to a valid object id) falls through to the per-field
+    // errors below instead of vanishing as a pretend header.
+    if line_no == 1
+        && [id_field, t_field, x_field, y_field]
+            .iter()
+            .all(|f| f.parse::<f64>().is_err())
+    {
         return Ok(None);
     }
     let parse_err = |what: &str| TrajectoryError::Parse {
         line: line_no,
         message: format!("cannot parse {what}"),
     };
-    let id: u64 = fields[0].parse().map_err(|_| parse_err("object_id"))?;
-    let t: i64 = fields[1].parse().map_err(|_| parse_err("t"))?;
-    let x: f64 = fields[2].parse().map_err(|_| parse_err("x"))?;
-    let y: f64 = fields[3].parse().map_err(|_| parse_err("y"))?;
+    let id: u64 = id_field.parse().map_err(|_| parse_err("object_id"))?;
+    let t: i64 = t_field.parse().map_err(|_| parse_err("t"))?;
+    let x: f64 = x_field.parse().map_err(|_| parse_err("x"))?;
+    let y: f64 = y_field.parse().map_err(|_| parse_err("y"))?;
     Ok(Some((ObjectId(id), t, x, y)))
 }
 
-/// Reads a database from CSV (`object_id,t,x,y`). A header line (any line
-/// whose second field does not parse as an integer) is skipped. Samples may
+/// Reads a database from CSV (`object_id,t,x,y`). A header on line 1 (no
+/// field numeric) is skipped; CRLF line endings are accepted. Samples may
 /// appear in any order; duplicate `(object, t)` samples keep the last
 /// occurrence.
 pub fn read_csv<R: Read>(reader: R) -> Result<TrajectoryDatabase> {
@@ -177,5 +192,36 @@ mod tests {
         assert_eq!(parse_csv_line("object_id,t,x,y", 1).unwrap(), None);
         assert!(parse_csv_line("object_id,t,x,y", 2).is_err());
         assert!(parse_csv_line("1,2,3", 5).is_err());
+        assert!(parse_csv_line("1,2,3.0,4.0,5", 5).is_err());
+    }
+
+    #[test]
+    fn malformed_first_data_row_is_an_error_not_a_header() {
+        // One numeric field is enough to rule out a header: a first data row
+        // with a mistyped timestamp must be reported, not swallowed.
+        let err = parse_csv_line("1,09:15:00,2.0,3.0", 1).unwrap_err();
+        match err {
+            TrajectoryError::Parse { line, message } => {
+                assert_eq!(line, 1);
+                assert_eq!(message, "cannot parse t");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // A real header — no numeric field anywhere — still skips.
+        assert_eq!(parse_csv_line("id,timestamp,lon,lat", 1).unwrap(), None);
+    }
+
+    #[test]
+    fn crlf_line_endings_parse_like_lf() {
+        assert_eq!(
+            parse_csv_line("3,7,1.5,-2.5\r", 4).unwrap(),
+            Some((ObjectId(3), 7, 1.5, -2.5))
+        );
+        assert_eq!(parse_csv_line("object_id,t,x,y\r", 1).unwrap(), None);
+        let csv = "object_id,t,x,y\r\n1,0,0.5,1.5\r\n1,1,1.0,2.0\r\n2,0,9.0,9.0\r\n";
+        let db = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.get(ObjectId(1)).unwrap().len(), 2);
+        assert_eq!(db.get(ObjectId(2)).unwrap().len(), 1);
     }
 }

@@ -27,11 +27,32 @@ pub(crate) struct ObjectBuffer {
 pub(crate) fn bridgeable(before: TimePoint, after: TimePoint, horizon: Option<TimePoint>) -> bool {
     match horizon {
         None => true,
-        Some(h) => after - before - 1 <= h,
+        // The missing-tick count `after - before - 1` can exceed `i64` when a
+        // negative-epoch sample meets a far-future watermark; a gap too wide
+        // to even represent is certainly too wide to bridge.
+        Some(h) => match after.checked_sub(before).and_then(|gap| gap.checked_sub(1)) {
+            Some(missing) => missing <= h,
+            None => false,
+        },
     }
 }
 
 impl ObjectBuffer {
+    /// The buffered samples, oldest first (checkpoint export).
+    pub fn samples(&self) -> &[TrajPoint] {
+        &self.samples
+    }
+
+    /// Rebuilds a buffer from checkpointed samples. Returns `None` unless the
+    /// samples are non-empty and strictly increasing in time — the invariants
+    /// the feed validator enforces on the live path.
+    pub fn from_samples(samples: Vec<TrajPoint>) -> Option<Self> {
+        if samples.is_empty() || samples.windows(2).any(|w| w[0].t >= w[1].t) {
+            return None;
+        }
+        Some(ObjectBuffer { samples })
+    }
+
     /// Appends a sample (the validator has already enforced feed order).
     pub fn push(&mut self, sample: TrajPoint) {
         debug_assert!(self.samples.last().is_none_or(|last| last.t < sample.t));
@@ -192,6 +213,27 @@ mod tests {
         // Exact samples are always visible.
         assert!(b.position_at(0, Some(1)).is_some());
         assert!(b.position_at(10, Some(1)).is_some());
+    }
+
+    #[test]
+    fn bridgeable_survives_extreme_gaps_and_horizons() {
+        // A gap wider than i64 severs instead of wrapping (debug: panicking).
+        assert!(!bridgeable(i64::MIN + 10, i64::MAX - 10, Some(i64::MAX)));
+        assert!(bridgeable(i64::MIN + 10, i64::MAX - 10, None));
+        // Negative-epoch samples under a huge horizon always bridge.
+        assert!(bridgeable(-100, -95, Some(i64::MAX)));
+        // Gap of exactly i64::MAX ticks: i64::MAX - 1 missing, still bridges.
+        assert!(bridgeable(0, i64::MAX, Some(i64::MAX)));
+    }
+
+    #[test]
+    fn checkpoint_round_trip_preserves_samples() {
+        let b = buffer(&[0, 2, 5, 9]);
+        let restored = ObjectBuffer::from_samples(b.samples().to_vec()).unwrap();
+        assert_eq!(restored.samples(), b.samples());
+        assert!(ObjectBuffer::from_samples(Vec::new()).is_none());
+        let out_of_order = vec![TrajPoint::new(0.0, 0.0, 3), TrajPoint::new(0.0, 0.0, 3)];
+        assert!(ObjectBuffer::from_samples(out_of_order).is_none());
     }
 
     #[test]

@@ -33,9 +33,11 @@
 #![warn(rust_2018_idioms)]
 
 mod buffer;
+pub mod checkpoint;
 pub mod config;
 pub mod stream;
 
+pub use checkpoint::CheckpointError;
 pub use config::{EvictionPolicy, StreamConfig, StreamStats};
 pub use stream::{
     feed_order_samples, replay_config, ConvoyStream, FeedIngest, ReplayStream, StreamOutcome,
@@ -219,6 +221,33 @@ mod tests {
             .iter()
             .all(|c| !c.objects.contains(ObjectId(9))));
         assert!(!outcome.convoys.is_empty());
+    }
+
+    #[test]
+    fn huge_horizon_with_negative_timestamps_matches_unbounded() {
+        // Regression: the eviction cutoff `window.end - horizon` used raw
+        // subtraction, which underflows for `horizon = i64::MAX` on a
+        // negative-epoch feed (panic in debug, wrapping mis-eviction in
+        // release). A horizon that large can never bind, so the run must be
+        // identical to the unbounded one in both build profiles.
+        let query = ConvoyQuery::new(2, 3, 1.0);
+        let base = StreamConfig::new(query, 0.2, 4);
+        let run = |config: StreamConfig| {
+            let mut stream = ConvoyStream::new(config);
+            for t in -100..-80i64 {
+                push_tick(&mut stream, t, &[(0, t as f64, 0.0), (1, t as f64, 0.5)]);
+            }
+            stream.finish()
+        };
+        let unbounded = run(base);
+        let huge = run(base.with_eviction(EvictionPolicy::unbounded().with_horizon(i64::MAX)));
+        assert_eq!(huge, unbounded);
+        assert_eq!(huge.stats.candidates_evicted, 0);
+        assert_eq!(huge.convoys.len(), 1);
+        assert_eq!(
+            huge.convoys[0].interval(),
+            trajectory::TimeInterval::new(-100, -81)
+        );
     }
 
     #[test]

@@ -97,29 +97,33 @@ pub struct StreamOutcome {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ConvoyStream {
-    config: StreamConfig,
-    sliding: SlidingDp,
-    distance: SegmentDistance,
-    mode: ToleranceMode,
-    validator: FeedValidator,
-    buffers: BTreeMap<ObjectId, ObjectBuffer>,
+    // Fields are `pub(crate)` so the sibling `checkpoint` module can export
+    // and rebuild the resumable state without widening the public API.
+    pub(crate) config: StreamConfig,
+    pub(crate) sliding: SlidingDp,
+    pub(crate) distance: SegmentDistance,
+    pub(crate) mode: ToleranceMode,
+    pub(crate) validator: FeedValidator,
+    pub(crate) buffers: BTreeMap<ObjectId, ObjectBuffer>,
     /// Start of the lowest λ-partition not yet closed (`None` before the
     /// first sample anchors the partition grid).
-    partition_start: Option<TimePoint>,
+    pub(crate) partition_start: Option<TimePoint>,
     /// The object last observed blocking a partition close (a straggler
     /// whose samples have not reached the partition end). Re-checking the
     /// cached straggler first makes the per-push close test O(1) amortized
     /// instead of a scan over every buffer while a partition is pending.
-    blocker: Option<ObjectId>,
-    chain: CandidateChain,
-    fold: RefineFold,
-    ready: Vec<Convoy>,
-    ready_candidates: Vec<CandidateConvoy>,
-    partitions_closed: u64,
-    filter_candidates: u64,
-    chain_evicted: u64,
-    samples_buffered: usize,
-    peak_samples_buffered: usize,
+    /// Pure cache: `None` is always a valid value (the next `advance` falls
+    /// back to the full scan), so checkpoints simply do not store it.
+    pub(crate) blocker: Option<ObjectId>,
+    pub(crate) chain: CandidateChain,
+    pub(crate) fold: RefineFold,
+    pub(crate) ready: Vec<Convoy>,
+    pub(crate) ready_candidates: Vec<CandidateConvoy>,
+    pub(crate) partitions_closed: u64,
+    pub(crate) filter_candidates: u64,
+    pub(crate) chain_evicted: u64,
+    pub(crate) samples_buffered: usize,
+    pub(crate) peak_samples_buffered: usize,
 }
 
 impl ConvoyStream {
@@ -221,7 +225,11 @@ impl ConvoyStream {
     fn advance(&mut self, watermark: TimePoint) {
         let step = self.config.step();
         while let Some(start) = self.partition_start {
-            let end = start + step;
+            // A partition grid anchored near i64::MAX runs out of axis: a
+            // window that cannot even be represented can never complete.
+            let Some(end) = start.checked_add(step) else {
+                break;
+            };
             // Samples at `end` may still arrive while the watermark sits on
             // it; wait.
             if watermark <= end {
@@ -283,7 +291,12 @@ impl ConvoyStream {
         // clusters to stay exact.
         self.chain.fold(&clustered);
         if let Some(h) = horizon {
-            self.chain_evicted += self.chain.close_started_before(window.end - h) as u64;
+            // `window.end - h` underflows for huge horizons on negative-epoch
+            // feeds; a cutoff below the representable time axis evicts
+            // nothing, which is exactly the saturating semantics we want.
+            if let Some(cutoff) = window.end.checked_sub(h) {
+                self.chain_evicted += self.chain.close_started_before(cutoff) as u64;
+            }
         }
         let closed_candidates = self.chain.drain_closed();
         self.filter_candidates += closed_candidates.len() as u64;
@@ -339,7 +352,11 @@ impl ConvoyStream {
             // λ-windows, the last one clipped to the watermark.
             let step = self.config.step();
             loop {
-                let end = (start + step).min(watermark);
+                // `start + step` saturates to the watermark when the grid
+                // overruns the time axis (the final clipped window).
+                let end = start
+                    .checked_add(step)
+                    .map_or(watermark, |e| e.min(watermark));
                 self.close_partition(TimeInterval::new(start, end));
                 self.partition_start = Some(end);
                 if end >= watermark {

@@ -293,6 +293,73 @@ fn max_candidates_caps_the_working_set_mid_tick() {
     );
 }
 
+/// Replays the fixed seeds recorded in
+/// `proptest-regressions/stream_equivalence.txt` against the random-walk
+/// generator, mirroring the shard-equivalence corpus harness: the vendored
+/// proptest stand-in derives its seed from the test name and does not read
+/// shrink files, so this test gives the checked-in corpus teeth — add a
+/// failing seed to the file and it stays covered forever, in both debug and
+/// `--release` CI runs.
+#[test]
+fn replays_checked_in_regression_seeds() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/proptest-regressions/stream_equivalence.txt"
+    );
+    let corpus = std::fs::read_to_string(path).expect("regression corpus must be checked in");
+    let mut replayed = 0u32;
+    for line in corpus.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let seed = line
+            .strip_prefix("cc ")
+            .and_then(|rest| {
+                let token = rest.split_whitespace().next()?;
+                token.strip_prefix("0x").map_or_else(
+                    || token.parse().ok(),
+                    |hex| u64::from_str_radix(hex, 16).ok(),
+                )
+            })
+            .unwrap_or_else(|| panic!("malformed regression line: `{line}`"));
+        let mut rng = proptest::new_rng(seed);
+        // Same draw order as `stream_matches_batch_on_random_walk_databases`.
+        let db = arb_walk_db().sample(&mut rng);
+        let m = (2usize..4).sample(&mut rng);
+        let k = (2usize..6).sample(&mut rng);
+        let e = (2.0f64..10.0).sample(&mut rng);
+        let lambda = (2usize..9).sample(&mut rng);
+        let query = ConvoyQuery::new(m, k, e);
+        let discovery = Discovery::new(Method::Cuts)
+            .with_config(CutsConfig::new(CutsVariant::Cuts).with_lambda(lambda));
+        let outcome = discovery.replay_stream(&db, &query);
+        let batch_filter = filter(&db, &query, discovery.config());
+        let (batch_raw, batch_fold) = refine_partitions(&db, &query, &batch_filter.partitions);
+        assert_eq!(
+            outcome.convoys, batch_raw,
+            "raw divergence replaying regression seed {seed:#x}"
+        );
+        assert_eq!(
+            outcome.stats.fold, batch_fold,
+            "fold counter divergence replaying regression seed {seed:#x}"
+        );
+        // Same draw order as `stream_matches_batch_with_auto_parameters`.
+        let db = arb_walk_db().sample(&mut rng);
+        let seed_k = (2usize..5).sample(&mut rng);
+        assert_stream_matches_batch(
+            &db,
+            &ConvoyQuery::new(2, seed_k, 5.0),
+            &format!("regression seed {seed:#x} (auto parameters)"),
+        );
+        replayed += 1;
+    }
+    assert!(
+        replayed >= 4,
+        "regression corpus unexpectedly small: {replayed}"
+    );
+}
+
 #[test]
 fn out_of_order_samples_are_rejected_and_do_not_corrupt_equivalence() {
     // Build a valid feed, inject stragglers that must all be rejected, and

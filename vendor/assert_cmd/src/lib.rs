@@ -123,6 +123,12 @@ pub struct Assert {
 }
 
 impl Assert {
+    /// The finished process's raw output, mirroring
+    /// `assert_cmd::assert::Assert::get_output`.
+    pub fn get_output(&self) -> &Output {
+        &self.output
+    }
+
     fn describe(&self) -> String {
         format!(
             "status: {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
