@@ -27,6 +27,7 @@
 //! variable `CONVOY_SCALE` (e.g. `CONVOY_SCALE=1.0`) to change the fraction;
 //! relative comparisons between algorithms are stable across scales.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -53,8 +53,10 @@ pub fn sweep_delta(prepared: &PreparedDataset, deltas: &[f64]) -> Vec<(f64, Meas
     let mut out = Vec::with_capacity(deltas.len() * 3);
     for &delta in deltas {
         for method in [Method::Cuts, Method::CutsPlus, Method::CutsStar] {
-            let config =
-                CutsConfig::new(method.cuts_variant().expect("CuTS method")).with_delta(delta);
+            let Some(variant) = method.cuts_variant() else {
+                continue; // the list above is CuTS variants only
+            };
+            let config = CutsConfig::new(variant).with_delta(delta);
             out.push((delta, run_method(prepared, method, Some(config))));
         }
     }
@@ -66,8 +68,10 @@ pub fn sweep_lambda(prepared: &PreparedDataset, lambdas: &[usize]) -> Vec<(usize
     let mut out = Vec::with_capacity(lambdas.len() * 3);
     for &lambda in lambdas {
         for method in [Method::Cuts, Method::CutsPlus, Method::CutsStar] {
-            let config =
-                CutsConfig::new(method.cuts_variant().expect("CuTS method")).with_lambda(lambda);
+            let Some(variant) = method.cuts_variant() else {
+                continue; // the list above is CuTS variants only
+            };
+            let config = CutsConfig::new(variant).with_lambda(lambda);
             out.push((lambda, run_method(prepared, method, Some(config))));
         }
     }

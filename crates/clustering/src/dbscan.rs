@@ -120,6 +120,7 @@ pub fn dbscan_with_core_flags<Q: RegionQuery>(
 ///
 /// After the call, `scratch.labels()` and `scratch.core_flags()` hold the
 /// run's result (`query.len()` entries each).
+// lint: hot-path — the per-tick DBSCAN core; all buffers must come from `scratch`
 pub fn dbscan_with_core_flags_into<Q: RegionQuery>(
     query: &Q,
     min_pts: usize,

@@ -141,6 +141,7 @@ impl GridIndex {
             self.points
                 .iter()
                 .enumerate()
+                // lint: allow(cast-audit) — point count < u32::MAX, asserted above
                 .map(|(i, p)| (Self::pack(Self::cell_of(p, epsilon)), i as u32)),
         );
         // Sorting the pairs groups points per cell while keeping each bucket
@@ -158,12 +159,15 @@ impl GridIndex {
         for (i, &(key, point)) in self.keyed.iter().enumerate() {
             if self.cell_keys.last() != Some(&key) {
                 self.cell_keys.push(key);
+                // lint: allow(cast-audit) — pair index ≤ point count < u32::MAX, asserted above
                 self.bucket_starts.push(i as u32);
             }
+            // lint: allow(cast-audit) — cell count ≤ point count < u32::MAX, asserted above
             self.point_rank[point as usize] = (self.cell_keys.len() - 1) as u32;
             self.bucket_points.push(point);
             self.cell_points.push(self.points[point as usize]);
         }
+        // lint: allow(cast-audit) — keyed holds one pair per point, < u32::MAX, asserted above
         self.bucket_starts.push(self.keyed.len() as u32);
 
         // Open-addressed rank table at ≤ 50% load.
@@ -177,6 +181,7 @@ impl GridIndex {
             while self.rank_table[slot].1 != EMPTY_SLOT {
                 slot = (slot + 1) & mask;
             }
+            // lint: allow(cast-audit) — rank ≤ cell count < u32::MAX, asserted above
             self.rank_table[slot] = (Self::tag(hash), rank as u32);
         }
     }
@@ -196,10 +201,12 @@ impl GridIndex {
     /// rarely share a tag).
     #[inline]
     fn tag(hash: u64) -> u32 {
+        // lint: allow(cast-audit) — intentional truncation to the high 32 bits
         (hash >> 32) as u32
     }
 
     /// Looks up the bucket rank of `key` in the open-addressed table.
+    // lint: hot-path — open-addressed probe on every column resolution
     #[inline]
     fn bucket_rank(&self, key: u128) -> Option<usize> {
         let mask = self.rank_table.len().checked_sub(1)?;
@@ -283,6 +290,7 @@ impl GridIndex {
 
     /// Like [`GridIndex::range_query`], but writes the indices into `out`
     /// (cleared first) instead of allocating — same hits, same order.
+    // lint: hot-path — per-query CSR scan; writes only into the caller's buffer
     pub fn range_query_into(&self, target: &Point, out: &mut Vec<usize>) {
         out.clear();
         let (cx, cy) = Self::cell_of(target, self.epsilon);
@@ -303,6 +311,7 @@ impl GridIndex {
     /// dense-grid cost: one hash probe per column instead of three — and
     /// zero when the caller supplies `center_rank` (an indexed point's own
     /// cell, recorded at build time).
+    // lint: hot-path — column resolution for the 3×3 query block
     #[inline]
     fn scan_column(
         &self,
@@ -369,6 +378,7 @@ impl GridIndex {
     /// Pushes the points of bucket `rank` within `eps_sq` of `target`, in
     /// bucket (= ascending point index) order. The scan reads the
     /// cell-local point copy sequentially; only hits touch the index array.
+    // lint: hot-path — innermost distance loop of every region query
     #[inline]
     fn scan_bucket(&self, rank: Option<usize>, target: &Point, eps_sq: f64, out: &mut Vec<usize>) {
         let Some(rank) = rank else { return };
@@ -405,6 +415,7 @@ impl RegionQuery for GridIndex {
     /// [`GridIndex::range_query_into`] at the point's own position, but the
     /// point's cell is recovered from its recorded bucket rank — no
     /// coordinate divisions, and the centre column needs no hash probe.
+    // lint: hot-path — DBSCAN's per-point neighbourhood query; no allocation allowed
     fn neighbors_into(&self, idx: usize, out: &mut Vec<usize>) {
         out.clear();
         let target = &self.points[idx];
@@ -453,6 +464,7 @@ impl SnapshotClusterer {
     /// The returned slice borrows the clusterer's cluster pool: it is valid
     /// until the next `cluster_into` call, which overwrites it (clone the
     /// clusters out if they must outlive the tick).
+    // lint: hot-path — the steady-state per-tick clustering entry point (zero_alloc.rs proves a run; this proves the code)
     pub fn cluster_into(&mut self, snapshot: &Snapshot, e: f64, m: usize) -> &[Cluster] {
         if snapshot.len() < m {
             return &[];
@@ -473,8 +485,10 @@ impl SnapshotClusterer {
         let mut num_clusters = 0u32;
         for (i, label) in self.scratch.labels().iter().enumerate() {
             if let Label::Cluster(c) = label {
+                // lint: allow(cast-audit) — cluster ids and point indices are < u32::MAX (grid assert)
                 let c = *c as u32;
                 num_clusters = num_clusters.max(c + 1);
+                // lint: allow(cast-audit) — point index < u32::MAX (grid assert)
                 self.pairs.push((c, i as u32));
             }
         }

@@ -39,6 +39,7 @@
 //! assert_eq!(clusters[0].len(), 3);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

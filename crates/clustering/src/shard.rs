@@ -478,6 +478,7 @@ where
             if let Some(root) = target {
                 components
                     .get_mut(&root)
+                    // lint: allow(no-unwrap-in-lib) — every union-find root was inserted into `components` above
                     .expect("component exists")
                     .1
                     .push(*border);

@@ -12,6 +12,11 @@
 //! its own integration-test binary: the `#[global_allocator]` would
 //! otherwise count every other test's allocations too.
 
+// The counting allocator is the one place in the workspace that needs
+// `unsafe`: implementing `GlobalAlloc` requires it by definition. The
+// workspace-level `unsafe_code = "deny"` is relaxed here only.
+#![allow(unsafe_code)]
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;

@@ -28,9 +28,10 @@ impl CandidateConvoy {
         }
     }
 
-    /// The candidate's lifetime in time points (`end - start + 1`).
+    /// The candidate's lifetime in time points (`end - start + 1`),
+    /// saturating at `i64::MAX` for candidates spanning the full tick range.
     pub fn lifetime(&self) -> i64 {
-        self.end - self.start + 1
+        self.end.saturating_sub(self.start).saturating_add(1)
     }
 
     /// Attempts to extend the candidate with a cluster observed up to

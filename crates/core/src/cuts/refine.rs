@@ -175,7 +175,7 @@ impl RefineFold {
             None => coverage.clone(),
         };
         self.ingest(window.start, &boundary_coverage, snapshot_at);
-        for t in window.start + 1..window.end {
+        for t in window.start.saturating_add(1)..window.end {
             self.ingest(t, &coverage, snapshot_at);
         }
         self.prev = Some((window, coverage));
@@ -331,6 +331,7 @@ pub fn refine_partitions(
     let domain = TimeInterval::new(first.window.start, last.window.end);
     let mut sweep = SnapshotSweep::new(db, domain, SnapshotPolicy::Interpolate);
     let mut snapshot_at = |t: TimePoint, coverage: &BTreeSet<ObjectId>| -> Snapshot {
+        // lint: allow(no-unwrap-in-lib) — the sweep domain is the hull of all folded windows, so it yields every tick
         let snapshot = sweep.next().expect("sweep covers every folded tick");
         debug_assert_eq!(snapshot.time, t);
         restrict_snapshot(snapshot, coverage)

@@ -202,6 +202,7 @@ impl CmcState {
     /// candidate first: an unobserved tick has no clusters, and a convoy must
     /// be density-connected at *every* time point of its interval, so no
     /// chain may silently span ticks the state never saw.
+    // lint: hot-path — the per-tick fold reuses its scratch buffers; steady state must not allocate
     pub fn ingest_clusters(&mut self, t: TimePoint, clusters: &[Cluster]) {
         if let Some(last) = self.last_tick {
             debug_assert!(last < t, "ticks must be ingested in increasing order");
@@ -257,6 +258,7 @@ impl CmcState {
                 // The clone is the candidate's own member storage (the
                 // dedup check above runs on the borrowed cluster, so
                 // duplicates never allocate).
+                // lint: allow(no-alloc-hot-path) — fresh candidates own their members; deduped ticks stay clean
                 self.next.push(CandidateConvoy::new(cluster.clone(), t, t));
             }
         }
@@ -433,6 +435,7 @@ fn dedup_register(
     let mut hasher = DefaultHasher::new();
     objects.members().hash(&mut hasher);
     start.hash(&mut hasher);
+    // lint: allow(cast-audit) — candidate list length is bounded far below u32::MAX (object-count bound + eviction)
     let idx = next.len() as u32;
     match heads.entry(hasher.finish()) {
         Entry::Occupied(head) => {
@@ -613,9 +616,11 @@ fn split_window(window: TimeInterval, parts: usize) -> Vec<TimeInterval> {
     let mut start = window.start;
     for i in 0..parts {
         let len = base + i64::from(i < remainder);
-        let end = start + len - 1;
+        // Saturating keeps the endpoints ordered even for windows spanning
+        // the full tick range (where `num_points` saturates).
+        let end = start.saturating_add(len - 1).min(window.end);
         out.push(TimeInterval::new(start, end));
-        start = end + 1;
+        start = end.saturating_add(1);
     }
     out
 }
@@ -679,6 +684,7 @@ pub fn cmc_parallel_windowed_with_stats(
             .collect();
         handles
             .into_iter()
+            // lint: allow(no-unwrap-in-lib) — re-raising a worker panic on the coordinating thread is the intent
             .map(|h| h.join().expect("snapshot-clustering worker panicked"))
             .collect()
     });

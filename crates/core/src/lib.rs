@@ -49,6 +49,7 @@
 //! assert_eq!(outcome.convoys[0].objects.len(), 3);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -61,6 +61,7 @@ pub fn refinement_unit(candidates: &[CandidateConvoy]) -> f64 {
         .iter()
         .map(|c| {
             let n = c.objects.len() as f64;
+            // lint: allow(checked-time-arithmetic) — f64 cost-model arithmetic, wrap-free
             n * n * c.lifetime() as f64
         })
         .sum()

@@ -54,9 +54,10 @@ impl Convoy {
         TimeInterval::new(self.start, self.end)
     }
 
-    /// Number of consecutive time points covered (the convoy's lifetime).
+    /// Number of consecutive time points covered (the convoy's lifetime),
+    /// saturating at `i64::MAX` for convoys spanning the full tick range.
     pub fn lifetime(&self) -> i64 {
-        self.end - self.start + 1
+        self.end.saturating_sub(self.start).saturating_add(1)
     }
 
     /// Returns `true` when the convoy satisfies the size and lifetime

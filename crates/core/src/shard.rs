@@ -148,6 +148,7 @@ pub fn cmc_sharded_windowed_with_stats(
             .collect();
         handles
             .into_iter()
+            // lint: allow(no-unwrap-in-lib) — re-raising a worker panic on the coordinating thread is the intent
             .map(|h| h.join().expect("shard-clustering worker panicked"))
             .collect()
     });

@@ -7,6 +7,10 @@
 //! user with access to the real Truck/Cattle/Car/Taxi data can drop it in
 //! without format gymnastics.
 
+// Malformed input must surface as `TrajectoryError`, never a panic: this
+// module ingests untrusted files and live stdin feeds.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
@@ -114,6 +118,7 @@ pub fn read_csv_file<P: AsRef<Path>>(path: P) -> Result<TrajectoryDatabase> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic on bad fixtures
 mod tests {
     use super::*;
     use crate::{generate, DatasetProfile};

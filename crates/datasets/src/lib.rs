@@ -25,6 +25,7 @@
 //! assert!(!dataset.ground_truth.is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -35,6 +35,7 @@ pub fn add_gps_noise(db: &TrajectoryDatabase, magnitude: f64, seed: u64) -> Traj
             .collect();
         out.insert(
             id,
+            // lint: allow(no-unwrap-in-lib) — jitter preserves the (validated) input's point count
             Trajectory::from_points(points).expect("same shape as input"),
         );
     }
@@ -57,6 +58,7 @@ pub fn downsample(db: &TrajectoryDatabase, probability: f64, seed: u64) -> Traje
             .filter(|(i, _)| *i == 0 || *i == n - 1 || rng.gen::<f64>() >= probability)
             .map(|(_, p)| *p)
             .collect();
+        // lint: allow(no-unwrap-in-lib) — the filter always keeps indices 0 and n-1, so points is non-empty
         out.insert(id, Trajectory::from_points(points).expect("endpoints kept"));
     }
     out
@@ -76,6 +78,7 @@ pub fn stride_sample(db: &TrajectoryDatabase, stride: usize) -> TrajectoryDataba
             .filter(|(i, _)| i % stride == 0 || *i == n - 1)
             .map(|(_, p)| *p)
             .collect();
+        // lint: allow(no-unwrap-in-lib) — index 0 always passes the stride filter, so points is non-empty
         out.insert(id, Trajectory::from_points(points).expect("non-empty"));
     }
     out

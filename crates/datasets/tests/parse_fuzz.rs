@@ -1,0 +1,108 @@
+//! Fuzz-style robustness properties for the CSV parse path.
+//!
+//! `read_csv` / `parse_csv_line` sit on the untrusted-input boundary (files
+//! on disk, live stdin feeds), so the contract is: **any** byte sequence
+//! produces `Ok` or a `TrajectoryError` — never a panic. These properties
+//! hammer the parser with raw bytes, CSV-shaped noise, and valid lines with
+//! randomised numeric payloads.
+
+use proptest::prelude::*;
+use traj_datasets::io::{parse_csv_line, read_csv, write_csv};
+use trajectory::ObjectId;
+
+/// Characters weighted toward the CSV grammar so random strings reach deep
+/// into the parser (field splits, numeric parses, header detection) instead
+/// of bailing at the first comma count.
+const PALETTE: &[u8] = b"0123456789,.-+eE# \t\rxyzt_objectid\n\n,,";
+
+fn palette_string(indices: &[usize]) -> String {
+    indices
+        .iter()
+        .map(|&i| PALETTE[i % PALETTE.len()] as char)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary raw bytes (including invalid UTF-8) never panic `read_csv`.
+    #[test]
+    fn read_csv_never_panics_on_raw_bytes(
+        bytes in proptest::collection::vec(0u8..=255u8, 0..512),
+    ) {
+        let _ = read_csv(bytes.as_slice());
+    }
+
+    /// CSV-shaped noise never panics `read_csv`, and an `Ok` database is
+    /// internally consistent (every trajectory non-empty and time-sorted).
+    #[test]
+    fn read_csv_never_panics_on_csv_shaped_noise(
+        indices in proptest::collection::vec(0usize..1024, 0..384),
+    ) {
+        let text = palette_string(&indices);
+        if let Ok(db) = read_csv(text.as_bytes()) {
+            for (_, traj) in db.iter() {
+                prop_assert!(!traj.is_empty());
+                let points = traj.points();
+                for w in 1..points.len() {
+                    prop_assert!(points[w - 1].t < points[w].t);
+                }
+            }
+        }
+    }
+
+    /// `parse_csv_line` never panics on noise, and line numbers > 1 never
+    /// take the header escape hatch: a non-blank, non-comment line either
+    /// parses or errors.
+    #[test]
+    fn parse_csv_line_never_panics(
+        indices in proptest::collection::vec(0usize..1024, 0..96),
+        line_no in 1usize..5,
+    ) {
+        let line = palette_string(&indices);
+        let parsed = parse_csv_line(&line, line_no);
+        let trimmed = line.trim();
+        if line_no > 1 && !trimmed.is_empty() && !trimmed.starts_with('#') {
+            prop_assert!(
+                !matches!(parsed, Ok(None)),
+                "line {line_no} silently skipped: {line:?}"
+            );
+        }
+    }
+
+    /// A well-formed line with arbitrary numeric payloads round-trips
+    /// exactly through format-then-parse.
+    #[test]
+    fn well_formed_lines_round_trip(
+        id in 0u64..u64::MAX,
+        t in i64::MIN..i64::MAX,
+        x in -1.0e12f64..1.0e12,
+        y in -1.0e12f64..1.0e12,
+    ) {
+        let line = format!("{id},{t},{x},{y}");
+        // Line 2, so header detection cannot swallow the sample.
+        match parse_csv_line(&line, 2) {
+            Ok(Some((pid, pt, px, py))) => {
+                prop_assert_eq!(pid, ObjectId(id));
+                prop_assert_eq!(pt, t);
+                prop_assert_eq!(px, x);
+                prop_assert_eq!(py, y);
+            }
+            other => prop_assert!(false, "well-formed line rejected: {other:?}"),
+        }
+    }
+
+    /// Writing any parsed database back out and re-reading it is a fixpoint
+    /// (write ∘ read ∘ write ∘ read = write ∘ read).
+    #[test]
+    fn parse_write_parse_is_a_fixpoint(
+        indices in proptest::collection::vec(0usize..1024, 0..384),
+    ) {
+        let text = palette_string(&indices);
+        let Ok(db) = read_csv(text.as_bytes()) else { return Ok(()); };
+        let mut out = Vec::new();
+        write_csv(&db, &mut out).expect("write to Vec cannot fail");
+        let db2 = read_csv(out.as_slice()).expect("re-read of written CSV");
+        prop_assert_eq!(db, db2);
+    }
+}

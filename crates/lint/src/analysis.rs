@@ -1,0 +1,389 @@
+//! Per-file token analysis shared by all rules.
+//!
+//! Builds, on top of the raw token stream from [`crate::lexer`]:
+//!
+//! * the **code view** — indices of non-comment tokens, so rules can look at
+//!   adjacent code tokens without tripping over interleaved comments;
+//! * **`#[cfg(test)]` regions** — token ranges belonging to test-gated items,
+//!   which every rule skips;
+//! * **hot-path regions** — brace-balanced blocks following a marker
+//!   comment ([`HOT_PATH_MARKER`]), consumed by the no-alloc rule;
+//! * **allow directives** — suppression comments ([`ALLOW_PREFIX`] followed
+//!   by rule names, a closing paren, and a justification), parsed with
+//!   their target line resolved (same line for trailing comments, next code
+//!   line for standalone ones).
+
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Marker comment that opens a hot-path region (applies to the next
+/// brace-balanced block).
+pub const HOT_PATH_MARKER: &str = "lint: hot-path";
+
+/// Prefix of an inline suppression comment.
+pub const ALLOW_PREFIX: &str = "lint: allow(";
+
+/// A parsed suppression directive ([`ALLOW_PREFIX`]`rule, …) — reason`).
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// Rule names listed inside the parentheses.
+    pub rules: Vec<String>,
+    /// 1-based line of the comment itself.
+    pub line: u32,
+    /// 1-based line whose findings this directive suppresses.
+    pub target_line: u32,
+    /// Whether a non-empty justification follows the closing parenthesis.
+    pub has_reason: bool,
+}
+
+/// Token stream plus the derived region/directive maps for one file.
+pub struct FileAnalysis<'a> {
+    /// The file's source text.
+    pub src: &'a str,
+    /// All tokens, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of non-comment tokens, in order.
+    pub code: Vec<usize>,
+    /// Per-token flag: inside a `#[cfg(test)]`-gated item.
+    pub in_test: Vec<bool>,
+    /// Per-token flag: inside a hot-path region (see [`HOT_PATH_MARKER`]).
+    pub in_hot: Vec<bool>,
+    /// Parsed allow directives, in source order.
+    pub allows: Vec<AllowDirective>,
+}
+
+impl<'a> FileAnalysis<'a> {
+    /// Lexes `src` and derives all region maps.
+    pub fn new(src: &'a str) -> Self {
+        let tokens = tokenize(src);
+        let code: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+            .map(|(i, _)| i)
+            .collect();
+        let in_test = mark_cfg_test_regions(src, &tokens, &code);
+        let in_hot = mark_hot_regions(src, &tokens, &code);
+        let allows = parse_allow_directives(src, &tokens, &code);
+        FileAnalysis {
+            src,
+            tokens,
+            code,
+            in_test,
+            in_hot,
+            allows,
+        }
+    }
+
+    /// Text of the code token at code-view position `ci`.
+    pub fn code_text(&self, ci: usize) -> &'a str {
+        self.tokens[self.code[ci]].text(self.src)
+    }
+
+    /// Kind of the code token at code-view position `ci`.
+    pub fn code_kind(&self, ci: usize) -> TokenKind {
+        self.tokens[self.code[ci]].kind
+    }
+
+    /// The token at code-view position `ci`.
+    pub fn code_token(&self, ci: usize) -> &Token {
+        &self.tokens[self.code[ci]]
+    }
+
+    /// Whether the code token at code-view position `ci` is test-gated.
+    pub fn code_in_test(&self, ci: usize) -> bool {
+        self.in_test[self.code[ci]]
+    }
+
+    /// Whether the code token at code-view position `ci` is in a hot region.
+    pub fn code_in_hot(&self, ci: usize) -> bool {
+        self.in_hot[self.code[ci]]
+    }
+
+    /// The full source line (1-based) trimmed, for finding snippets.
+    pub fn line_text(&self, line: u32) -> &'a str {
+        self.src
+            .lines()
+            .nth(line.saturating_sub(1) as usize)
+            .unwrap_or("")
+            .trim()
+    }
+}
+
+/// Marks tokens covered by `#[cfg(test)]`-gated items.
+///
+/// Strategy: scan the code view for `#` `[` … `]` attribute groups whose
+/// tokens include both `cfg` and `test` (covers `#[cfg(test)]` and
+/// `#[cfg(all(test, …))]`), then skip any further attributes and extend the
+/// region to the end of the gated item — the matching `}` of its first brace
+/// block, or a terminating `;` (`mod tests;`).
+fn mark_cfg_test_regions(src: &str, tokens: &[Token], code: &[usize]) -> Vec<bool> {
+    let mut marked = vec![false; tokens.len()];
+    let mut ci = 0usize;
+    while ci < code.len() {
+        if !is_attr_open(src, tokens, code, ci) {
+            ci += 1;
+            continue;
+        }
+        let attr_start_ci = ci;
+        let Some((attr_end_ci, is_test)) = scan_attribute(src, tokens, code, ci) else {
+            ci += 1;
+            continue;
+        };
+        if !is_test {
+            ci = attr_end_ci + 1;
+            continue;
+        }
+        // Skip any additional attributes between #[cfg(test)] and the item.
+        let mut item_ci = attr_end_ci + 1;
+        while is_attr_open(src, tokens, code, item_ci) {
+            match scan_attribute(src, tokens, code, item_ci) {
+                Some((end, _)) => item_ci = end + 1,
+                None => break,
+            }
+        }
+        // Extend to the end of the item: first `{` balanced to its `}`, or a
+        // `;` before any `{` (e.g. `mod tests;`).
+        let mut end_ci = item_ci;
+        let mut depth = 0usize;
+        while end_ci < code.len() {
+            match token_text(src, tokens, code, end_ci) {
+                "{" => depth += 1,
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+            end_ci += 1;
+        }
+        let lo = code[attr_start_ci];
+        let hi = code[end_ci.min(code.len().saturating_sub(1))];
+        for slot in marked.iter_mut().take(hi + 1).skip(lo) {
+            *slot = true;
+        }
+        ci = end_ci + 1;
+    }
+    marked
+}
+
+fn token_text<'a>(src: &'a str, tokens: &[Token], code: &[usize], ci: usize) -> &'a str {
+    code.get(ci).map(|&i| tokens[i].text(src)).unwrap_or("")
+}
+
+/// Whether code position `ci` starts an outer attribute (`#` followed by `[`).
+fn is_attr_open(src: &str, tokens: &[Token], code: &[usize], ci: usize) -> bool {
+    token_text(src, tokens, code, ci) == "#" && token_text(src, tokens, code, ci + 1) == "["
+}
+
+/// Scans an attribute starting at `ci` (`#`). Returns the code index of the
+/// closing `]` and whether the attribute mentions both `cfg` and `test`.
+fn scan_attribute(src: &str, tokens: &[Token], code: &[usize], ci: usize) -> Option<(usize, bool)> {
+    let mut depth = 0usize;
+    let mut saw_cfg = false;
+    let mut saw_test = false;
+    let mut i = ci + 1; // position of `[`
+    while i < code.len() {
+        match token_text(src, tokens, code, i) {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((i, saw_cfg && saw_test));
+                }
+            }
+            "cfg" => saw_cfg = true,
+            "test" => saw_test = true,
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Marks tokens inside hot-path regions: from each [`HOT_PATH_MARKER`]
+/// comment, the next `{` in code opens the region and its matching `}`
+/// closes it.
+fn mark_hot_regions(src: &str, tokens: &[Token], code: &[usize]) -> Vec<bool> {
+    let mut marked = vec![false; tokens.len()];
+    for (ti, tok) in tokens.iter().enumerate() {
+        if !matches!(tok.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        if !tok.text(src).contains(HOT_PATH_MARKER) {
+            continue;
+        }
+        // First code token after the marker, then its first `{`.
+        let Some(start_pos) = code.iter().position(|&i| i > ti) else {
+            continue;
+        };
+        let Some(open_ci) =
+            (start_pos..code.len()).find(|&ci| token_text(src, tokens, code, ci) == "{")
+        else {
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut close_ci = open_ci;
+        for ci in open_ci..code.len() {
+            match token_text(src, tokens, code, ci) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close_ci = ci;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            close_ci = ci;
+        }
+        let lo = code[open_ci];
+        let hi = code[close_ci];
+        for slot in marked.iter_mut().take(hi + 1).skip(lo) {
+            *slot = true;
+        }
+    }
+    marked
+}
+
+/// Parses suppression comments ([`ALLOW_PREFIX`]) into [`AllowDirective`]s.
+///
+/// Target resolution: a trailing comment (code earlier on the same line)
+/// suppresses that line; a standalone comment suppresses the line of the
+/// next code token after it.
+fn parse_allow_directives(src: &str, tokens: &[Token], code: &[usize]) -> Vec<AllowDirective> {
+    let mut out = Vec::new();
+    for (ti, tok) in tokens.iter().enumerate() {
+        if !matches!(tok.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        let text = tok.text(src);
+        let Some(open) = text.find(ALLOW_PREFIX) else {
+            continue;
+        };
+        let after = &text[open + ALLOW_PREFIX.len()..];
+        let (rule_list, rest) = match after.find(')') {
+            Some(close) => (&after[..close], &after[close + 1..]),
+            None => (after, ""),
+        };
+        let rules: Vec<String> = rule_list
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        // Justification: after the `)`, strip separator punctuation and
+        // require some actual prose.
+        let reason = rest
+            .trim_start_matches([' ', '\t', '—', '–', '-', ':'])
+            .trim();
+        let has_reason = reason.len() >= 3;
+        let same_line_code = code.iter().any(|&i| tokens[i].line == tok.line && i < ti);
+        let target_line = if same_line_code {
+            tok.line
+        } else {
+            code.iter()
+                .find(|&&i| i > ti)
+                .map(|&i| tokens[i].line)
+                .unwrap_or(tok.line)
+        };
+        out.push(AllowDirective {
+            rules,
+            line: tok.line,
+            target_line,
+            has_reason,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_region_covers_module() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let a = FileAnalysis::new(src);
+        let flag_of = |name: &str| {
+            let ci = (0..a.code.len())
+                .find(|&ci| a.code_text(ci) == name)
+                .unwrap();
+            a.code_in_test(ci)
+        };
+        assert!(!flag_of("live"));
+        assert!(flag_of("t"));
+        assert!(!flag_of("after"));
+    }
+
+    #[test]
+    fn cfg_test_with_extra_attribute_and_semicolon_form() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests;\nfn after() {}\n";
+        let a = FileAnalysis::new(src);
+        let after_ci = (0..a.code.len())
+            .find(|&ci| a.code_text(ci) == "after")
+            .unwrap();
+        assert!(!a.code_in_test(after_ci));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_marked() {
+        let src = "#[cfg(feature = \"x\")]\nfn gated() {}\n";
+        let a = FileAnalysis::new(src);
+        let ci = (0..a.code.len())
+            .find(|&ci| a.code_text(ci) == "gated")
+            .unwrap();
+        assert!(!a.code_in_test(ci));
+    }
+
+    #[test]
+    fn hot_region_covers_next_block_only() {
+        let src = "// lint: hot-path\nfn hot(x: &[u8]) -> usize {\n    inner()\n}\nfn cold() {}\n";
+        let a = FileAnalysis::new(src);
+        let flag_of = |name: &str| {
+            let ci = (0..a.code.len())
+                .find(|&ci| a.code_text(ci) == name)
+                .unwrap();
+            a.code_in_hot(ci)
+        };
+        assert!(flag_of("inner"));
+        assert!(!flag_of("cold"));
+        // The signature before the `{` is not part of the region.
+        let hot_ci = (0..a.code.len())
+            .find(|&ci| a.code_text(ci) == "hot")
+            .unwrap();
+        assert!(!a.code_in_hot(hot_ci));
+    }
+
+    #[test]
+    fn allow_directive_trailing_and_standalone_targets() {
+        let src = "let a = x.unwrap(); // lint: allow(no-unwrap-in-lib) — guarded above\n\
+                   // lint: allow(cast-audit) — masked to 8 bits\n\
+                   let b = y as u8;\n";
+        let a = FileAnalysis::new(src);
+        assert_eq!(a.allows.len(), 2);
+        assert_eq!(a.allows[0].rules, vec!["no-unwrap-in-lib".to_string()]);
+        assert_eq!(a.allows[0].target_line, 1);
+        assert!(a.allows[0].has_reason);
+        assert_eq!(a.allows[1].rules, vec!["cast-audit".to_string()]);
+        assert_eq!(a.allows[1].target_line, 3);
+    }
+
+    #[test]
+    fn allow_directive_without_reason_is_flagged() {
+        let src = "let a = x.unwrap(); // lint: allow(no-unwrap-in-lib)\n";
+        let a = FileAnalysis::new(src);
+        assert_eq!(a.allows.len(), 1);
+        assert!(!a.allows[0].has_reason);
+    }
+
+    #[test]
+    fn allow_directive_multiple_rules() {
+        let src = "// lint: allow(cast-audit, checked-time-arithmetic) — proven in range\nlet x = t as u32;\n";
+        let a = FileAnalysis::new(src);
+        assert_eq!(a.allows[0].rules.len(), 2);
+        assert_eq!(a.allows[0].target_line, 2);
+    }
+}

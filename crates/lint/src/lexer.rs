@@ -1,0 +1,420 @@
+//! A minimal Rust lexer — just enough structure for line-oriented static
+//! analysis.
+//!
+//! The rules this crate enforces are token-shaped ("`.unwrap()` outside
+//! tests", "bare `-` next to a tick-named value"), so a full parse is not
+//! needed — but a plain text grep is *not* enough either: `"unwrap"` inside
+//! a string literal, `- 1` inside a doc comment, and a `#[cfg(test)]` module
+//! all have to be invisible to the rules. This lexer draws exactly that
+//! boundary: it splits source text into comments, string/char literals and
+//! code tokens, with multi-byte punctuation (`->`, `::`, `+=`, `..`)
+//! resolved so operator rules never misread `->` as a subtraction.
+//!
+//! Kept deliberately dependency-free (no `syn`, consistent with the
+//! workspace's vendored-offline policy); the token stream is lossless enough
+//! for every rule in [`crate::rules`] and nothing more.
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers like `r#type`).
+    Ident,
+    /// Numeric literal (integers, and the digit runs of float literals).
+    Number,
+    /// String literal: `"…"` or `b"…"` (escapes resolved for termination
+    /// only).
+    Str,
+    /// Raw string literal: `r"…"`, `r#"…"#`, `br##"…"##`, any hash depth.
+    RawStr,
+    /// Character or byte literal: `'a'`, `'\n'`, `b'x'`.
+    CharLit,
+    /// Lifetime: `'a`, `'static`.
+    Lifetime,
+    /// Line comment (`//`, `///`, `//!`), newline not included.
+    LineComment,
+    /// Block comment (`/* … */`), nesting respected.
+    BlockComment,
+    /// Punctuation; multi-character operators (`<<=`, `..=`, `::`, …) are
+    /// one token, matched maximal-munch.
+    Punct,
+}
+
+/// One token: classification plus the byte span and 1-based start line.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the token's first byte.
+    pub start: usize,
+    /// Byte offset one past the token's last byte.
+    pub end: usize,
+    /// 1-based line number of the token's first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within the source it was lexed from.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+/// Multi-character punctuation, longest first so maximal munch wins (`..=`
+/// before `..`, `<<=` before `<<`).
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into tokens. Whitespace is dropped; everything else —
+/// comments included — is kept, so callers can inspect comment text for
+/// lint directives while rules iterate over code tokens only.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, tracking line numbers.
+    fn bump(&mut self) {
+        if self.peek(0) == Some(b'\n') {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        self.tokens.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(b) = self.peek(0) {
+            let start = self.pos;
+            let line = self.line;
+            match b {
+                b if b.is_ascii_whitespace() => self.bump(),
+                b'/' if self.peek(1) == Some(b'/') => {
+                    while self.peek(0).is_some_and(|b| b != b'\n') {
+                        self.bump();
+                    }
+                    self.push(TokenKind::LineComment, start, line);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.bump_n(2);
+                    let mut depth = 1usize;
+                    while depth > 0 {
+                        match (self.peek(0), self.peek(1)) {
+                            (Some(b'/'), Some(b'*')) => {
+                                depth += 1;
+                                self.bump_n(2);
+                            }
+                            (Some(b'*'), Some(b'/')) => {
+                                depth -= 1;
+                                self.bump_n(2);
+                            }
+                            (Some(_), _) => self.bump(),
+                            (None, _) => break,
+                        }
+                    }
+                    self.push(TokenKind::BlockComment, start, line);
+                }
+                b'"' => self.string(start, line),
+                b'\'' => self.quote(start, line),
+                b'r' | b'b' if self.raw_or_byte_prefix() => {}
+                b if is_ident_start(b) => {
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Ident, start, line);
+                }
+                b if b.is_ascii_digit() => {
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Number, start, line);
+                }
+                _ => {
+                    let rest = &self.src[self.pos..];
+                    let multi = MULTI_PUNCT
+                        .iter()
+                        .find(|p| rest.starts_with(p.as_bytes()))
+                        .map_or(1, |p| p.len());
+                    self.bump_n(multi);
+                    self.push(TokenKind::Punct, start, line);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    /// Handles the `r` / `b` prefixes that start raw strings, byte strings,
+    /// byte chars or raw identifiers. Returns `true` when a token was
+    /// consumed; `false` leaves the prefix for the plain-identifier path.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let start = self.pos;
+        let line = self.line;
+        let first = self.peek(0);
+        let (hash_at, is_byte) = match (first, self.peek(1)) {
+            (Some(b'b'), Some(b'r')) => (2usize, true),
+            (Some(b'b'), Some(b'"')) => {
+                self.bump();
+                self.string(start, line);
+                return true;
+            }
+            (Some(b'b'), Some(b'\'')) => {
+                self.bump();
+                self.quote(start, line);
+                return true;
+            }
+            (Some(b'r'), _) => (1usize, false),
+            _ => return false,
+        };
+        // Count hashes after the `r` and require an opening quote; `r#ident`
+        // (raw identifier) and plain `r`/`br` identifiers fall through.
+        let mut hashes = 0usize;
+        while self.peek(hash_at + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if self.peek(hash_at + hashes) != Some(b'"') {
+            if !is_byte && hashes == 1 && self.peek(2).is_some_and(is_ident_start) {
+                // Raw identifier `r#type`: consume prefix + identifier.
+                self.bump_n(2);
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                self.push(TokenKind::Ident, start, line);
+                return true;
+            }
+            return false;
+        }
+        self.bump_n(hash_at + hashes + 1);
+        // Scan for the closing quote followed by `hashes` hashes.
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some(b'"') => {
+                    let mut ok = true;
+                    for i in 0..hashes {
+                        if self.peek(1 + i) != Some(b'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        self.bump_n(1 + hashes);
+                        break;
+                    }
+                    self.bump();
+                }
+                Some(_) => self.bump(),
+            }
+        }
+        self.push(TokenKind::RawStr, start, line);
+        true
+    }
+
+    /// Lexes a `"…"` string starting at the current quote.
+    fn string(&mut self, start: usize, line: u32) {
+        self.bump(); // opening quote
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some(b'\\') => self.bump_n(2),
+                Some(b'"') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => self.bump(),
+            }
+        }
+        self.push(TokenKind::Str, start, line);
+    }
+
+    /// Disambiguates `'…'` char literals from `'ident` lifetimes.
+    fn quote(&mut self, start: usize, line: u32) {
+        let next = self.peek(1);
+        if next == Some(b'\\') {
+            // Escaped char literal: scan to the closing quote.
+            self.bump_n(2); // quote + backslash
+            self.bump(); // escaped byte
+            while self.peek(0).is_some_and(|b| b != b'\'') {
+                self.bump();
+            }
+            self.bump();
+            self.push(TokenKind::CharLit, start, line);
+            return;
+        }
+        if next.is_some_and(is_ident_start) {
+            // `'a'` is a char; `'a` (no closing quote after the ident run)
+            // is a lifetime.
+            let mut len = 1;
+            while self.peek(1 + len).is_some_and(is_ident_continue) {
+                len += 1;
+            }
+            if self.peek(1 + len) == Some(b'\'') {
+                self.bump_n(len + 2);
+                self.push(TokenKind::CharLit, start, line);
+            } else {
+                self.bump_n(len + 1);
+                self.push(TokenKind::Lifetime, start, line);
+            }
+            return;
+        }
+        // Punctuation char literal: `'+'`, `' '`, `','` …
+        self.bump();
+        while self.peek(0).is_some_and(|b| b != b'\'') {
+            self.bump();
+        }
+        self.bump();
+        self.push(TokenKind::CharLit, start, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn comments_strings_and_code_are_separated() {
+        let toks = kinds("let x = \"a // not comment\"; // real\n/* block */ y");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("not comment")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::LineComment && t == "// real"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::BlockComment && t == "/* block */"));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let toks = kinds(r####"let s = r#"contains "unwrap()" inside"#; next"####);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::RawStr && t.contains("unwrap")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "next"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let e = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::CharLit)
+            .collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn multi_char_punctuation_is_one_token() {
+        let toks = kinds("a -> b; c += d; e..=f; g :: h; i - j");
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert!(puncts.contains(&"->"));
+        assert!(puncts.contains(&"+="));
+        assert!(puncts.contains(&"..="));
+        assert!(puncts.contains(&"::"));
+        assert!(puncts.contains(&"-"));
+        assert!(!puncts.contains(&">"), "-> must not split: {puncts:?}");
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let toks = kinds("/* outer /* inner */ still */ code");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[1].1, "code");
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let toks = tokenize("a\nb\n\nc");
+        let src = "a\nb\n\nc";
+        let lines: Vec<(String, u32)> = toks
+            .iter()
+            .map(|t| (t.text(src).to_string(), t.line))
+            .collect();
+        assert_eq!(
+            lines,
+            vec![
+                ("a".to_string(), 1),
+                ("b".to_string(), 2),
+                ("c".to_string(), 4)
+            ]
+        );
+    }
+
+    #[test]
+    fn byte_and_raw_identifier_prefixes() {
+        let toks = kinds("let a = b\"bytes\"; let c = b'x'; let r#type = r\"raw\";");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t == "b\"bytes\""));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::CharLit && t == "b'x'"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#type"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::RawStr && t == "r\"raw\""));
+    }
+}

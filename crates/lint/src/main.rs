@@ -1,0 +1,129 @@
+//! CLI for `convoy-lint`.
+//!
+//! ```text
+//! convoy-lint [--json] [--deny] [--root DIR] [FILE…]
+//! ```
+//!
+//! Exits 0 when clean, 1 on findings, 2 on usage or I/O errors. `--deny` is
+//! the explicit CI spelling — identical to the default exit behaviour, but
+//! states the intent in the workflow file.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    json: bool,
+    root: Option<PathBuf>,
+    files: Vec<String>,
+}
+
+const USAGE: &str = "usage: convoy-lint [--json] [--deny] [--root DIR] [FILE…]\n\
+\n\
+Lints first-party sources (crates/*/src/**, src/**) against the suite's\n\
+five invariant rules. With FILE arguments (workspace-relative paths), lints\n\
+only those files. Without --root, searches upward for the workspace root.\n";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        root: None,
+        files: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            // --deny: exit nonzero on findings. That is already the default;
+            // the flag exists so CI invocations read as policy.
+            "--deny" => {}
+            "--root" => {
+                let dir = args.next().ok_or("--root requires a directory")?;
+                opts.root = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag: {other}"));
+            }
+            file => opts.files.push(file.to_string()),
+        }
+    }
+    Ok(opts)
+}
+
+/// Finds the workspace root: the nearest ancestor of the current directory
+/// whose `Cargo.toml` declares `[workspace]`.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("convoy-lint: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(root) = opts.root.or_else(find_root) else {
+        eprintln!("convoy-lint: no workspace root found (pass --root DIR)");
+        return ExitCode::from(2);
+    };
+
+    let report = if opts.files.is_empty() {
+        convoy_lint::lint_workspace(&root)
+    } else {
+        let mut report = convoy_lint::Report::default();
+        let mut err = None;
+        for rel in &opts.files {
+            match std::fs::read_to_string(root.join(rel)) {
+                Ok(src) => {
+                    report.findings.extend(convoy_lint::lint_source(rel, &src));
+                    report.allows_used += convoy_lint::count_used_allows(rel, &src);
+                    report.files_scanned += 1;
+                }
+                Err(e) => {
+                    err = Some(std::io::Error::new(e.kind(), format!("{rel}: {e}")));
+                    break;
+                }
+            }
+        }
+        match err {
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
+    };
+
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("convoy-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.json {
+        print!("{}", convoy_lint::render_json(&report));
+    } else {
+        print!("{}", convoy_lint::render_human(&report));
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

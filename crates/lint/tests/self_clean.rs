@@ -1,0 +1,94 @@
+//! Meta-test: the committed tree must be lint-clean.
+//!
+//! Runs the actual `convoy-lint` binary (via `CARGO_BIN_EXE_*`, so it is the
+//! exact artifact CI ships) over the workspace and asserts zero unjustified
+//! findings. This is the enforcement point that keeps the repo honest
+//! between CI runs: `cargo test` alone fails if anyone introduces a bare
+//! tick subtraction, a panicking decode path, or a stale allow.
+
+use std::path::Path;
+use std::process::Command;
+
+/// Walks up from this crate's manifest to the workspace root.
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has a workspace two levels up")
+}
+
+#[test]
+fn committed_tree_has_zero_unjustified_findings() {
+    let out = Command::new(env!("CARGO_BIN_EXE_convoy-lint"))
+        .arg("--root")
+        .arg(workspace_root())
+        .output()
+        .expect("run convoy-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "convoy-lint found problems in the committed tree:\n{stdout}{stderr}"
+    );
+}
+
+#[test]
+fn json_report_on_committed_tree_is_clean_and_well_formed() {
+    let out = Command::new(env!("CARGO_BIN_EXE_convoy-lint"))
+        .arg("--json")
+        .arg("--root")
+        .arg(workspace_root())
+        .output()
+        .expect("run convoy-lint --json");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "nonzero exit:\n{stdout}");
+    // Hand-rolled JSON, so check shape with string probes rather than a
+    // parser dependency.
+    assert!(stdout.contains("\"clean\": true"), "{stdout}");
+    assert!(stdout.contains("\"findings\": []"), "{stdout}");
+    let scanned: usize = stdout
+        .split("\"files_scanned\": ")
+        .nth(1)
+        .and_then(|rest| rest.split(',').next())
+        .and_then(|n| n.trim().parse().ok())
+        .expect("files_scanned field present");
+    assert!(
+        scanned > 50,
+        "expected the full workspace, got {scanned} files"
+    );
+}
+
+#[test]
+fn deny_flag_is_accepted() {
+    let out = Command::new(env!("CARGO_BIN_EXE_convoy-lint"))
+        .arg("--deny")
+        .arg("--root")
+        .arg(workspace_root())
+        .output()
+        .expect("run convoy-lint --deny");
+    assert!(out.status.success());
+}
+
+#[test]
+fn single_file_mode_reports_findings_with_nonzero_exit() {
+    // FILE arguments are workspace-relative: build a synthetic root whose
+    // layout activates the library-path rules.
+    let root = std::env::temp_dir().join("convoy-lint-selftest");
+    let src_dir = root.join("crates/core/src");
+    std::fs::create_dir_all(&src_dir).expect("temp workspace");
+    std::fs::write(
+        src_dir.join("fixture.rs"),
+        "pub fn f(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n",
+    )
+    .expect("write fixture");
+    let out = Command::new(env!("CARGO_BIN_EXE_convoy-lint"))
+        .arg("--root")
+        .arg(&root)
+        .arg("crates/core/src/fixture.rs")
+        .output()
+        .expect("run convoy-lint FILE");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("no-unwrap-in-lib"), "{stdout}");
+    std::fs::remove_dir_all(&root).ok();
+}

@@ -49,6 +49,7 @@ impl SlidingDp {
             return None;
         }
         let trajectory = Trajectory::from_points(buffer.to_vec())
+            // lint: allow(no-unwrap-in-lib) — emptiness is checked above; buffered runs stay time-ordered by construction
             .expect("window buffers are validated sample runs");
         Some(self.method.simplify(&trajectory, self.delta))
     }

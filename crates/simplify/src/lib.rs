@@ -34,6 +34,7 @@
 //! assert!(simplified.max_actual_tolerance() <= 0.5);   // never exceeds δ
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -58,6 +58,7 @@ pub fn select_delta(trajectory: &Trajectory, e: f64) -> Option<DeltaSelection> {
         stack.push((first, max_idx));
         stack.push((max_idx, last));
     }
+    // lint: allow(no-unwrap-in-lib) — deviations are distances of finite points, never NaN
     deviations.sort_by(|a, b| a.partial_cmp(b).expect("deviations are finite"));
     // Keep only tolerances strictly below e, as the guideline prescribes.
     let usable: Vec<f64> = deviations.iter().copied().filter(|d| *d < e).collect();

@@ -253,6 +253,7 @@ impl SimplifiedTrajectory {
     /// Spatial bounding box of the retained samples.
     pub fn bounding_box(&self) -> BoundingBox {
         BoundingBox::from_points(self.points.iter().map(|p| p.position()))
+            // lint: allow(no-unwrap-in-lib) — simplification always retains the endpoints
             .expect("simplified trajectory keeps at least one sample")
     }
 }

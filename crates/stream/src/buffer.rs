@@ -68,6 +68,7 @@ impl ObjectBuffer {
     /// least one sample (it is created by its first push and trimming keeps
     /// the newest).
     pub fn last_t(&self) -> TimePoint {
+        // lint: allow(no-unwrap-in-lib) — buffers are created by their first push and trimming keeps the newest
         self.samples.last().expect("buffers are never empty").t
     }
 

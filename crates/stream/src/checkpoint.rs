@@ -39,6 +39,11 @@
 //! is rejected with a [`CheckpointError`], never a panic or a partial
 //! restore.
 
+// This module faces arbitrary bytes; every abort path is a bug. Enforced
+// three ways: convoy-lint's no-panic-decode rule, the every-byte-flip
+// corruption suite, and clippy at the module level:
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::buffer::ObjectBuffer;
 use crate::config::{EvictionPolicy, StreamConfig};
 use crate::stream::ConvoyStream;
@@ -124,6 +129,7 @@ const CRC_TABLE: [u32; 256] = {
     let mut table = [0u32; 256];
     let mut i = 0;
     while i < 256 {
+        // lint: allow(cast-audit) — i < 256, fits u32 exactly
         let mut c = i as u32;
         let mut bit = 0;
         while bit < 8 {
@@ -134,7 +140,7 @@ const CRC_TABLE: [u32; 256] = {
             };
             bit += 1;
         }
-        table[i] = c;
+        table[i] = c; // lint: allow(no-panic-decode) — const loop, i < 256 == table.len()
         i += 1;
     }
     table
@@ -144,6 +150,7 @@ const CRC_TABLE: [u32; 256] = {
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut c = 0xFFFF_FFFFu32;
     for &b in bytes {
+        // lint: allow(no-panic-decode) — index masked to 0..=255, table length 256
         c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
     }
     !c
@@ -231,6 +238,7 @@ impl Enc {
         self.u64(0);
         body(self);
         let len = (self.buf.len() - len_at - 8) as u64;
+        // lint: allow(no-panic-decode) — encode path: span written at len_at above, buf only grows
         self.buf[len_at..len_at + 8].copy_from_slice(&len.to_le_bytes());
     }
 }
@@ -250,27 +258,43 @@ impl<'a> Dec<'a> {
             .checked_add(n)
             .filter(|&end| end <= self.bytes.len())
             .ok_or(CheckpointError::Truncated)?;
-        let slice = &self.bytes[self.pos..end];
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or(CheckpointError::Truncated)?;
         self.pos = end;
         Ok(slice)
     }
     fn remaining(&self) -> usize {
         self.bytes.len() - self.pos
     }
+    /// Reads exactly `N` bytes into a fixed-size array. The copy is bounded
+    /// by both sides of the `zip`, so no length mismatch can panic — unlike
+    /// `try_into().unwrap()` or `copy_from_slice`, there is no abort path on
+    /// corrupt input.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], CheckpointError> {
+        let src = self.take(N)?;
+        let mut out = [0u8; N];
+        for (dst, byte) in out.iter_mut().zip(src) {
+            *dst = *byte;
+        }
+        Ok(out)
+    }
     fn u8(&mut self) -> Result<u8, CheckpointError> {
-        Ok(self.take(1)?[0])
+        let [b] = self.take_array::<1>()?;
+        Ok(b)
     }
     fn u32(&mut self) -> Result<u32, CheckpointError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
     fn u64(&mut self) -> Result<u64, CheckpointError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
     fn i64(&mut self) -> Result<i64, CheckpointError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(self.take_array()?))
     }
     fn f64(&mut self) -> Result<f64, CheckpointError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(self.take_array()?))
     }
     fn opt_i64(&mut self) -> Result<Option<i64>, CheckpointError> {
         match self.u8()? {
@@ -303,7 +327,7 @@ impl<'a> Dec<'a> {
         for _ in 0..n {
             ids.push(ObjectId(self.u64()?));
         }
-        if ids.windows(2).any(|w| w[0] >= w[1]) {
+        if !ids.is_sorted_by(|a, b| a < b) {
             return Err(CheckpointError::Malformed("cluster members not ascending"));
         }
         Ok(Cluster::new(ids))
@@ -515,11 +539,15 @@ impl ConvoyStream {
                 CheckpointError::BadMagic
             });
         }
-        if bytes[..MAGIC.len()] != MAGIC {
+        if !bytes.starts_with(&MAGIC) {
             return Err(CheckpointError::BadMagic);
         }
         let (body, trailer) = bytes.split_at(bytes.len() - 4);
-        let stored_crc = u32::from_le_bytes(trailer.try_into().unwrap());
+        let mut stored = [0u8; 4];
+        for (dst, byte) in stored.iter_mut().zip(trailer) {
+            *dst = *byte;
+        }
+        let stored_crc = u32::from_le_bytes(stored);
         if crc32(body) != stored_crc {
             return Err(CheckpointError::ChecksumMismatch);
         }
@@ -546,7 +574,7 @@ impl ConvoyStream {
             let t = s.i64()?;
             last_per_object.push((object, t));
         }
-        if last_per_object.windows(2).any(|w| w[0].0 >= w[1].0) {
+        if !last_per_object.is_sorted_by(|a, b| a.0 < b.0) {
             return Err(CheckpointError::Malformed(
                 "validator entries not ascending",
             ));
@@ -608,7 +636,7 @@ impl ConvoyStream {
                 for _ in 0..count {
                     coverage.push(ObjectId(s.u64()?));
                 }
-                if coverage.windows(2).any(|w| w[0] >= w[1]) {
+                if !coverage.is_sorted_by(|a, b| a < b) {
                     return Err(CheckpointError::Malformed("fold coverage not ascending"));
                 }
                 if start > end {
@@ -694,6 +722,7 @@ impl ConvoyStream {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic on bad fixtures
 mod tests {
     use super::*;
 

@@ -29,6 +29,7 @@
 //! docs) and [`convoy_core::cuts::refine`] (the coverage-fold restriction
 //! theorem).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

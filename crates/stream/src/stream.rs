@@ -510,6 +510,7 @@ impl ReplayStream for Discovery {
         for (id, p) in feed_order_samples(db) {
             stream
                 .push(id, p.t, p.x, p.y)
+                // lint: allow(no-unwrap-in-lib) — replaying an already-validated database cannot fail feed validation
                 .expect("database samples form a valid feed");
         }
         stream.finish()

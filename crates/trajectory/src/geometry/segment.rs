@@ -45,11 +45,13 @@ impl Segment {
 
     /// Parameter `t ∈ [0, 1]` of the point on the segment closest to `p`.
     pub fn closest_point_parameter(&self, p: &Point) -> f64 {
+        // lint: allow(checked-time-arithmetic) — Point vector subtraction (f64 coordinates), not ticks
         let d = self.end - self.start;
         let len_sq = d.norm_squared();
         if len_sq == 0.0 {
             return 0.0;
         }
+        // lint: allow(checked-time-arithmetic) — Point vector subtraction (f64 coordinates), not ticks
         let t = (*p - self.start).dot(&d) / len_sq;
         t.clamp(0.0, 1.0)
     }
@@ -72,11 +74,13 @@ impl Segment {
     /// distance. This is the distance used by the classic Douglas–Peucker
     /// algorithm (which measures against the line, not the segment).
     pub fn perpendicular_distance(&self, p: &Point) -> f64 {
+        // lint: allow(checked-time-arithmetic) — Point vector subtraction (f64 coordinates), not ticks
         let d = self.end - self.start;
         let len = d.norm();
         if len == 0.0 {
             return self.start.distance(p);
         }
+        // lint: allow(checked-time-arithmetic) — Point vector subtraction (f64 coordinates), not ticks
         let v = *p - self.start;
         // |cross product| / |d| gives the distance to the infinite line.
         (d.x * v.y - d.y * v.x).abs() / len
@@ -136,6 +140,7 @@ impl Segment {
 
     /// The minimum axis-aligned bounding box `B(l)` of the segment.
     pub fn bounding_box(&self) -> BoundingBox {
+        // lint: allow(no-unwrap-in-lib) — a two-point array is statically non-empty
         BoundingBox::from_points([self.start, self.end]).expect("two points are never empty")
     }
 }
@@ -171,17 +176,20 @@ impl TimedSegment {
             return self.segment.start;
         }
         let t = t.clamp(u, v);
-        let ratio = (t - u) as f64 / (v - u) as f64;
+        // Saturating: identical to bare `-` unless the interval spans more
+        // than the i64 range, where bare subtraction would wrap.
+        let ratio = t.saturating_sub(u) as f64 / v.saturating_sub(u) as f64;
         self.segment.start.lerp(&self.segment.end, ratio)
     }
 
     /// The velocity vector (displacement per unit time) of the segment.
     /// Zero for a zero-length time interval.
     pub fn velocity(&self) -> Point {
-        let dt = (self.interval.end - self.interval.start) as f64;
+        let dt = self.interval.duration() as f64;
         if dt == 0.0 {
             return Point::ORIGIN;
         }
+        // lint: allow(checked-time-arithmetic) — Point vector subtraction (f64 coordinates), not ticks
         (self.segment.end - self.segment.start) * (1.0 / dt)
     }
 
@@ -233,6 +241,7 @@ impl TimedSegment {
             return self.segment.start;
         }
         let t = t.clamp(u, v);
+        // lint: allow(checked-time-arithmetic) — f64 CPA arithmetic, wrap-free by construction
         let ratio = (t - u) / (v - u);
         self.segment.start.lerp(&self.segment.end, ratio)
     }

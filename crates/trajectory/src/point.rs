@@ -64,7 +64,9 @@ impl TrajPoint {
             before.t < t && t < after.t,
             "t must lie strictly between the samples"
         );
-        let ratio = (t - before.t) as f64 / (after.t - before.t) as f64;
+        // Saturating keeps the ratio well defined even for sample gaps wider
+        // than the i64 range (identical to bare `-` whenever no overflow).
+        let ratio = t.saturating_sub(before.t) as f64 / after.t.saturating_sub(before.t) as f64;
         before.position().lerp(&after.position(), ratio)
     }
 }

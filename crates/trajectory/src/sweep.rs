@@ -104,7 +104,7 @@ impl<'a> SnapshotSweep<'a> {
         if self.next_t > self.end {
             0
         } else {
-            (self.end - self.next_t + 1) as usize
+            self.end.saturating_sub(self.next_t).saturating_add(1) as usize
         }
     }
 }

@@ -33,16 +33,18 @@ impl TimeInterval {
         TimeInterval { start: t, end: t }
     }
 
-    /// Number of discrete time points covered, i.e. `end - start + 1`.
+    /// Number of discrete time points covered, i.e. `end - start + 1`,
+    /// saturating at `i64::MAX` for intervals wider than the tick range.
     #[inline]
     pub fn num_points(&self) -> i64 {
-        self.end - self.start + 1
+        self.end.saturating_sub(self.start).saturating_add(1)
     }
 
-    /// Duration `end - start` (zero for an instant).
+    /// Duration `end - start` (zero for an instant), saturating at
+    /// `i64::MAX` for intervals spanning more than the full tick range.
     #[inline]
     pub fn duration(&self) -> i64 {
-        self.end - self.start
+        self.end.saturating_sub(self.start)
     }
 
     /// Returns `true` when `t` lies inside the interval.
@@ -140,7 +142,9 @@ impl TimePartition {
             return None;
         }
         let step = self.lambda - 1;
-        let offset = t - self.domain.start;
+        // `t` is inside the domain, but the domain itself may span most of
+        // the i64 range, so the offset must not be computed bare.
+        let offset = t.saturating_sub(self.domain.start);
         let idx = (offset / step) as usize;
         // The last time point of the domain belongs to the final partition.
         let last_idx = self.len().saturating_sub(1);
@@ -164,7 +168,10 @@ impl Iterator for TimePartitionIter {
         if self.done || self.current_start > self.domain_end {
             return None;
         }
-        let end = (self.current_start + self.step).min(self.domain_end);
+        let end = self
+            .current_start
+            .saturating_add(self.step)
+            .min(self.domain_end);
         let interval = TimeInterval::new(self.current_start, end);
         if end >= self.domain_end {
             self.done = true;

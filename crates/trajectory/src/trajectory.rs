@@ -192,6 +192,7 @@ impl Trajectory {
     /// Spatial bounding box of all samples.
     pub fn bounding_box(&self) -> BoundingBox {
         BoundingBox::from_points(self.points.iter().map(|p| p.position()))
+            // lint: allow(no-unwrap-in-lib) — Trajectory construction rejects empty point sets
             .expect("trajectory is never empty")
     }
 

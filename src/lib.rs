@@ -33,6 +33,7 @@
 //! println!("found {} convoys", outcome.convoys.len());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
