@@ -10,10 +10,13 @@ use convoy_core::{
 use convoy_stream::{
     feed_order_samples, replay_config, ConvoyStream, EvictionPolicy, FeedIngest, StreamConfig,
 };
-use traj_datasets::io::{parse_csv_line, read_csv_file, write_csv_file};
-use traj_datasets::{generate, DatasetProfile, ProfileName};
+use traj_datasets::container::DEFAULT_BLOCK_RECORDS;
+use traj_datasets::io::{parse_csv_line, write_csv_file};
+use traj_datasets::{
+    generate, open_source, write_container_file, DatasetProfile, InputFormat, ProfileName,
+};
 use traj_simplify::{ReductionStats, SimplificationMethod, ToleranceMode};
-use trajectory::TrajectoryDatabase;
+use trajectory::{ScanStats, TimeInterval, TrajectoryDatabase, TrajectorySource};
 
 /// A command error: either bad arguments or a failure while executing.
 #[derive(Debug)]
@@ -56,16 +59,27 @@ COMMANDS:
     generate  --profile truck|cattle|car|taxi [--scale F] [--seed N] --out FILE
               Generate a synthetic trajectory CSV with planted convoys.
     stats     FILE
-              Print Table-3-style statistics of a trajectory CSV.
+              Print Table-3-style statistics of a trajectory file.
+    convert   IN OUT [--block-records N]
+              Re-encode between plain CSV and the binary `.convoy` columnar
+              container (formats decided by extension, then magic bytes).
+              Reports how many duplicate (object, t) samples the batch
+              loader collapsed (it keeps the last; a streaming feed rejects
+              them and keeps the first).
     discover  FILE [--method cmc|cuts|cuts-plus|cuts-star] --m N --k N --e F
               [--delta F] [--lambda N] [--global-tolerance] [--stats]
+              [--from T] [--to T]
               [--stream | --parallel [N] | --shards [N]]   (CMC engine:
               streamed sweep is the default; --parallel N partitions time
               across N worker threads; --shards N grid-shards space into N
               cells clustered on worker threads with boundary-halo exchange;
               N omitted or 0 uses every core)
               Run a convoy query and print the discovered convoys.
-              --stats additionally prints the CmcState fold counters.
+              --from/--to restrict discovery to samples with T inside the
+              inclusive tick window (no interpolation at the edges); on a
+              `.convoy` input only the blocks whose time range intersects
+              the window are read. --stats additionally prints the CmcState
+              fold counters and the source scan counters (blocks read/total).
     stream    FILE|- --m N --k N --e F [--method cuts|cuts-plus|cuts-star]
               [--delta F] [--lambda N] [--horizon H] [--max-candidates N]
               [--limit N] [--strict]
@@ -126,13 +140,29 @@ fn parse_simplifier(name: &str) -> Result<SimplificationMethod, CommandError> {
     }
 }
 
-fn load_database(args: &ParsedArgs) -> Result<(String, TrajectoryDatabase), CommandError> {
+/// Opens the first positional argument as a [`TrajectorySource`] — CSV or
+/// `.convoy` container, decided by extension/magic — so every subcommand
+/// accepts either format.
+fn open_input(args: &ParsedArgs) -> Result<(String, Box<dyn TrajectorySource>), CommandError> {
     let path = args
         .positional
         .first()
-        .ok_or_else(|| CommandError("missing input CSV path".into()))?;
-    let db = read_csv_file(path)?;
-    Ok((path.clone(), db))
+        .ok_or_else(|| CommandError("missing input path (.csv or .convoy)".into()))?;
+    let source = open_source(path)?;
+    Ok((path.clone(), source))
+}
+
+/// Loads the whole database behind the first positional argument.
+fn load_database(args: &ParsedArgs) -> Result<(String, TrajectoryDatabase), CommandError> {
+    let (path, mut source) = open_input(args)?;
+    let db = source.load()?;
+    Ok((path, db))
+}
+
+/// Loads the database at `path` through the sniffing factory (the stream
+/// command's file-replay path).
+fn load_path(path: &str) -> Result<TrajectoryDatabase, CommandError> {
+    Ok(open_source(path)?.load()?)
 }
 
 /// Resolves the CMC engine from the `--stream` / `--parallel N` /
@@ -234,6 +264,73 @@ pub fn stats_command(args: &ParsedArgs) -> Result<String, CommandError> {
     ))
 }
 
+/// Decides the format to write at `path` from its extension alone (there is
+/// no content to sniff yet).
+fn output_format(path: &str) -> Result<InputFormat, CommandError> {
+    match std::path::Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+    {
+        Some(ext) if ext.eq_ignore_ascii_case("convoy") => Ok(InputFormat::Convoy),
+        Some(ext) if ext.eq_ignore_ascii_case("csv") => Ok(InputFormat::Csv),
+        _ => Err(CommandError(format!(
+            "cannot infer output format of `{path}`: use a .csv or .convoy extension"
+        ))),
+    }
+}
+
+/// `convoy convert`: re-encode a trajectory file between the CSV and
+/// `.convoy` container formats (directions decided by extension/magic).
+pub fn convert_command(args: &ParsedArgs) -> Result<String, CommandError> {
+    args.reject_unknown(&["block-records"])?;
+    let [input, output] = args.positional.as_slice() else {
+        return Err(CommandError(
+            "usage: convoy convert IN OUT (formats decided by extension/magic)".into(),
+        ));
+    };
+    let block_records: usize = args.get_parsed_or("block-records", DEFAULT_BLOCK_RECORDS)?;
+    if block_records == 0 {
+        return Err(CommandError("--block-records must be positive".into()));
+    }
+    let to_format = output_format(output)?;
+
+    let mut source = open_source(input)?;
+    let from_format = source.format_name();
+    let db = source.load()?;
+    let scan = source.scan_stats();
+    drop(source);
+
+    // Batch ingestion keeps the *last* sample per `(object, t)` (see
+    // `TrajectoryBuilder::build`), so any collapsed duplicates show up as the
+    // gap between records scanned and points stored. A streaming feed of the
+    // same file would instead reject these and keep the first sample.
+    let duplicates = scan.records_read.saturating_sub(db.total_points() as u64);
+
+    let detail = match to_format {
+        InputFormat::Csv => {
+            write_csv_file(&db, output)?;
+            String::new()
+        }
+        InputFormat::Convoy => {
+            write_container_file(&db, output, block_records)
+                .map_err(|e| CommandError(format!("cannot write {output}: {e}")))?;
+            let blocks = db.total_points().div_ceil(block_records);
+            format!(", {blocks} block(s) of ≤{block_records} record(s)")
+        }
+    };
+    let mut out = format!(
+        "{input} ({from_format}) -> {output} ({}): {} object(s), {} point(s){detail}\n",
+        to_format.extension(),
+        db.len(),
+        db.total_points(),
+    );
+    out.push_str(&format!(
+        "duplicate samples collapsed: {duplicates} (batch keeps the last sample per (object, t); \
+         a streaming feed rejects them and keeps the first)\n"
+    ));
+    Ok(out)
+}
+
 /// Renders a [`CmcStats`] block (the `--stats` output of `discover` and the
 /// summary of `stream`).
 fn format_fold_stats(stats: &CmcStats) -> String {
@@ -241,6 +338,44 @@ fn format_fold_stats(stats: &CmcStats) -> String {
         "stats: peak candidates {}, ticks ingested {}, gap closures {}, convoys closed {}",
         stats.peak_candidates, stats.ticks_ingested, stats.gap_closures, stats.convoys_closed
     )
+}
+
+/// Renders the source-level scan counters (`--stats` output of `discover`):
+/// for `.convoy` inputs a windowed query reads strictly fewer blocks than a
+/// full scan, and this line is where that shows up.
+fn format_scan_stats(format: &str, scan: &ScanStats) -> String {
+    format!(
+        "scan: {format} source, read {} of {} block(s), {} record(s)",
+        scan.blocks_read, scan.blocks_total, scan.records_read
+    )
+}
+
+/// Parses the optional `--from` / `--to` tick bounds into a time window.
+/// A missing bound is open (i64::MIN / i64::MAX); both missing means no
+/// window at all (a full load).
+fn parse_window(args: &ParsedArgs) -> Result<Option<TimeInterval>, CommandError> {
+    let parse_bound = |flag: &str| -> Result<Option<i64>, CommandError> {
+        args.get(flag)
+            .map(|raw| {
+                raw.parse().map_err(|_| {
+                    CommandError(format!("cannot parse --{flag} value `{raw}` as a tick"))
+                })
+            })
+            .transpose()
+    };
+    let from = parse_bound("from")?;
+    let to = parse_bound("to")?;
+    if from.is_none() && to.is_none() {
+        return Ok(None);
+    }
+    let start = from.unwrap_or(i64::MIN);
+    let end = to.unwrap_or(i64::MAX);
+    if start > end {
+        return Err(CommandError(format!(
+            "empty window: --from {start} is after --to {end}"
+        )));
+    }
+    Ok(Some(TimeInterval::new(start, end)))
 }
 
 /// `convoy discover`: run a convoy query on a CSV.
@@ -258,8 +393,18 @@ pub fn discover_command(args: &ParsedArgs) -> Result<String, CommandError> {
         "stream",
         "parallel",
         "shards",
+        "from",
+        "to",
     ])?;
-    let (path, db) = load_database(args)?;
+    let (path, mut source) = open_input(args)?;
+    let window = parse_window(args)?;
+    let db = match window {
+        Some(window) => source.load_window(window)?,
+        None => source.load()?,
+    };
+    let scan = source.scan_stats();
+    let source_format = source.format_name();
+    drop(source);
     let query = query_from_args(args)?;
     let method = parse_method(args.get("method").unwrap_or("cuts-star"))?;
     let engine = engine_from_args(args, method)?;
@@ -329,6 +474,8 @@ pub fn discover_command(args: &ParsedArgs) -> Result<String, CommandError> {
     }
     if args.has_flag("stats") {
         out.push_str(&format_fold_stats(&outcome.stats.fold));
+        out.push('\n');
+        out.push_str(&format_scan_stats(source_format, &scan));
         out.push('\n');
     }
     for convoy in outcome.convoys.iter().take(limit) {
@@ -404,7 +551,7 @@ pub fn stream_command(args: &ParsedArgs) -> Result<String, CommandError> {
         let samples = if path == "-" {
             None
         } else {
-            Some(feed_order_samples(&read_csv_file(&path)?))
+            Some(feed_order_samples(&load_path(&path)?))
         };
         (stream, samples)
     } else {
@@ -468,7 +615,7 @@ pub fn stream_command(args: &ParsedArgs) -> Result<String, CommandError> {
             // Same δ/λ derivation and feed order as `ReplayStream` — the
             // path the equivalence harness tests — taken wholesale so the
             // CLI can never drift from it.
-            let db = read_csv_file(&path)?;
+            let db = load_path(&path)?;
             let mut cuts = CutsConfig::new(variant);
             if let Some(delta) = delta_arg {
                 cuts = cuts.with_delta(delta);
@@ -713,6 +860,7 @@ pub fn run(command: &str, args: &ParsedArgs) -> Result<String, CommandError> {
     match command {
         "generate" => generate_command(args),
         "stats" => stats_command(args),
+        "convert" => convert_command(args),
         "discover" => discover_command(args),
         "stream" => stream_command(args),
         "simplify" => simplify_command(args),
@@ -1060,12 +1208,159 @@ mod tests {
         assert!(compare_command(&args).is_err());
     }
 
+    /// Converts the generated fixture `name.csv` to `name.convoy` and
+    /// returns both paths.
+    fn container_fixture(name: &str, block_records: &str) -> (String, String) {
+        let csv = generate_fixture(&format!("{name}.csv"));
+        let bin = temp_csv(&format!("{name}.convoy"))
+            .to_str()
+            .unwrap()
+            .to_string();
+        let args =
+            ParsedArgs::parse([csv.as_str(), bin.as_str(), "--block-records", block_records])
+                .unwrap();
+        convert_command(&args).expect("conversion succeeds");
+        (csv, bin)
+    }
+
+    #[test]
+    fn convert_round_trips_and_reports_duplicates() {
+        let (csv, bin) = container_fixture("convert", "64");
+        // Back to CSV: the round-tripped file loads to the same database.
+        let back = temp_csv("convert-back.csv").to_str().unwrap().to_string();
+        let args = ParsedArgs::parse([bin.as_str(), back.as_str()]).unwrap();
+        let report = convert_command(&args).unwrap();
+        assert!(report.contains("(convoy) -> "), "{report}");
+        assert!(
+            report.contains("duplicate samples collapsed: 0"),
+            "{report}"
+        );
+        assert_eq!(load_path(&back).unwrap(), load_path(&csv).unwrap());
+
+        // A file with a duplicate (object, t) sample: the count is surfaced.
+        let dup = temp_csv("convert-dup.csv").to_str().unwrap().to_string();
+        std::fs::write(&dup, "1,0,1.0,0.0\n1,0,9.0,0.0\n2,0,3.0,3.0\n").unwrap();
+        let dup_bin = temp_csv("convert-dup.convoy").to_str().unwrap().to_string();
+        let args = ParsedArgs::parse([dup.as_str(), dup_bin.as_str()]).unwrap();
+        let report = convert_command(&args).unwrap();
+        assert!(
+            report.contains("duplicate samples collapsed: 1"),
+            "{report}"
+        );
+        assert!(report.contains("2 point(s)"), "{report}");
+
+        // An output without a known extension is rejected up front.
+        let args = ParsedArgs::parse([csv.as_str(), "out.parquet"]).unwrap();
+        let err = convert_command(&args).unwrap_err();
+        assert!(err.to_string().contains("output format"), "{err}");
+    }
+
+    #[test]
+    fn discover_output_is_byte_identical_across_backends() {
+        let (csv, bin) = container_fixture("backends", "16");
+        let profile = DatasetProfile::truck().scaled(0.02);
+        let m = profile.m.to_string();
+        let k = profile.k.to_string();
+        let e = profile.e.to_string();
+        // Everything except the input path, the wall-clock timing and the
+        // scan counters must match byte for byte.
+        let comparable = |report: &str| -> Vec<String> {
+            report
+                .lines()
+                .filter(|l| !l.starts_with("scan:"))
+                .map(|l| {
+                    if l.contains("convoy(s) found") {
+                        let tail = l.split_once(": ").map_or(l, |(_, t)| t);
+                        tail.split_once(" in ").map_or(tail, |(h, _)| h).to_string()
+                    } else {
+                        l.to_string()
+                    }
+                })
+                .collect()
+        };
+        for method in ["cmc", "cuts", "cuts-plus", "cuts-star"] {
+            let run_on = |input: &str| {
+                let args = ParsedArgs::parse([
+                    input, "--method", method, "--m", &m, "--k", &k, "--e", &e, "--stats",
+                ])
+                .unwrap();
+                discover_command(&args).unwrap()
+            };
+            let from_csv = run_on(&csv);
+            let from_bin = run_on(&bin);
+            assert!(from_bin.contains("scan: convoy source"), "{from_bin}");
+            assert!(!comparable(&from_csv).is_empty());
+            assert_eq!(
+                comparable(&from_csv),
+                comparable(&from_bin),
+                "{method} must not depend on the storage backend"
+            );
+        }
+    }
+
+    #[test]
+    fn discover_window_prunes_container_blocks() {
+        let (csv, bin) = container_fixture("window", "8");
+        let domain = load_path(&csv).unwrap().time_domain().unwrap();
+        let mid = (domain.start + (domain.end - domain.start) / 4).to_string();
+        let start = domain.start.to_string();
+        fn base(input: &str) -> Vec<&str> {
+            vec![input, "--m", "3", "--k", "2", "--e", "30", "--stats"]
+        }
+        let scan_counts = |report: &str| -> (u64, u64) {
+            let line = report
+                .lines()
+                .find(|l| l.starts_with("scan:"))
+                .expect("a scan line under --stats");
+            let mut nums = line
+                .split(|c: char| !c.is_ascii_digit())
+                .filter(|s| !s.is_empty())
+                .map(|s| s.parse::<u64>().unwrap());
+            (nums.next().unwrap(), nums.next().unwrap())
+        };
+
+        // Full scan reads every block; there are several at 8 records each.
+        let full = discover_command(&ParsedArgs::parse(base(&bin)).unwrap()).unwrap();
+        let (read, total) = scan_counts(&full);
+        assert_eq!(read, total, "{full}");
+        assert!(total > 1, "{full}");
+
+        // A window over the first quarter of the domain reads strictly fewer.
+        let mut args = base(&bin);
+        args.extend(["--from", &start, "--to", &mid]);
+        let windowed = discover_command(&ParsedArgs::parse(args).unwrap()).unwrap();
+        let (read, total_w) = scan_counts(&windowed);
+        assert_eq!(total_w, total);
+        assert!(read < total, "{windowed}");
+
+        // The same window over the CSV backend yields identical convoys.
+        let mut csv_args = base(&csv);
+        csv_args.extend(["--from", &start, "--to", &mid]);
+        let csv_windowed = discover_command(&ParsedArgs::parse(csv_args).unwrap()).unwrap();
+        let convoys = |report: &str| -> Vec<String> {
+            report
+                .lines()
+                .filter(|l| l.starts_with("  "))
+                .map(str::to_string)
+                .collect()
+        };
+        assert_eq!(convoys(&csv_windowed), convoys(&windowed));
+
+        // An inverted window is rejected, not silently normalised.
+        let mut args = base(&bin);
+        args.extend(["--from", "5", "--to", "2"]);
+        let err = discover_command(&ParsedArgs::parse(args).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("empty window"), "{err}");
+    }
+
     #[test]
     fn dispatch_and_help() {
         assert!(run("help", &ParsedArgs::default())
             .unwrap()
             .contains("USAGE"));
         assert!(run("no-such-command", &ParsedArgs::default()).is_err());
+        assert!(USAGE.contains("convert"));
+        assert!(USAGE.contains("--from"));
     }
 
     #[test]

@@ -82,7 +82,7 @@ fn stats_requires_an_input_path() {
         .assert()
         .failure()
         .code(1)
-        .stderr_contains("missing input CSV path");
+        .stderr_contains("missing input path");
 }
 
 #[test]
@@ -460,6 +460,52 @@ fn stream_checkpoint_flags_are_validated() {
         .code(1)
         .stderr_contains("cannot resume from")
         .stderr_contains("bad magic");
+}
+
+#[test]
+fn convert_then_discover_runs_on_the_container_end_to_end() {
+    let csv = temp_path("container.csv");
+    let bin = temp_path("container.convoy");
+    convoy()
+        .args(["generate", "--profile", "truck", "--scale", "0.02"])
+        .args(["--seed", "7", "--out", csv.to_str().unwrap()])
+        .assert()
+        .success();
+    convoy()
+        .args(["convert", csv.to_str().unwrap(), bin.to_str().unwrap()])
+        .args(["--block-records", "32"])
+        .assert()
+        .success()
+        .stdout_contains("duplicate samples collapsed: 0");
+    // Every subcommand accepts the container directly.
+    convoy()
+        .args(["stats", bin.to_str().unwrap()])
+        .assert()
+        .success()
+        .stdout_contains("number of objects");
+    convoy()
+        .args(["discover", bin.to_str().unwrap()])
+        .args(["--m", "3", "--k", "5", "--e", "10", "--stats"])
+        .args(["--from", "0", "--to", "25"])
+        .assert()
+        .success()
+        .stdout_contains("scan: convoy source");
+    // Corruption is a clean typed error, never a panic.
+    let garbage = temp_path("garbage.convoy");
+    std::fs::write(&garbage, b"CONVOYTRgarbage").unwrap();
+    convoy()
+        .args(["stats", garbage.to_str().unwrap()])
+        .assert()
+        .failure()
+        .code(1)
+        .stderr_contains("invalid trajectory container");
+    // convert without two paths is an argument error.
+    convoy()
+        .args(["convert", csv.to_str().unwrap()])
+        .assert()
+        .failure()
+        .code(1)
+        .stderr_contains("convoy convert IN OUT");
 }
 
 #[test]

@@ -11,7 +11,7 @@ use crate::params::auto_delta;
 use crate::query::{normalize_convoys, Convoy, ConvoyQuery};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
-use trajectory::TrajectoryDatabase;
+use trajectory::{TimeInterval, TrajectoryDatabase, TrajectorySource};
 
 /// Which discovery algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -128,6 +128,32 @@ impl Discovery {
     /// The engine a CMC run uses.
     pub fn cmc_engine(&self) -> CmcEngine {
         self.cmc_engine
+    }
+
+    /// Loads a database from any [`TrajectorySource`] backend and executes
+    /// the discovery on it. The result is byte-identical across backends:
+    /// a source's only job is to materialise the same database the CSV
+    /// reader would.
+    pub fn run_source(
+        &self,
+        source: &mut dyn TrajectorySource,
+        query: &ConvoyQuery,
+    ) -> trajectory::Result<DiscoveryOutcome> {
+        Ok(self.run(&source.load()?, query))
+    }
+
+    /// Like [`Discovery::run_source`], but restricted to the samples inside
+    /// `window` — block-indexed backends read only the touched blocks. The
+    /// windowed contract is sample-selecting (see
+    /// [`TrajectorySource::load_window`]), so the outcome equals running on
+    /// `load()?.restrict(window)` regardless of backend.
+    pub fn run_source_window(
+        &self,
+        source: &mut dyn TrajectorySource,
+        query: &ConvoyQuery,
+        window: TimeInterval,
+    ) -> trajectory::Result<DiscoveryOutcome> {
+        Ok(self.run(&source.load_window(window)?, query))
     }
 
     /// Executes the discovery and returns the normalised result set together

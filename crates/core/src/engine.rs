@@ -212,7 +212,7 @@ impl CmcState {
             }
         }
         self.last_tick = Some(t);
-        self.ticks_ingested += 1;
+        self.ticks_ingested = self.ticks_ingested.saturating_add(1);
 
         self.next.clear();
         self.dedup_heads.clear();

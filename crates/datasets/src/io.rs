@@ -84,19 +84,47 @@ pub fn parse_csv_line(line: &str, line_no: usize) -> Result<Option<(ObjectId, i6
 
 /// Reads a database from CSV (`object_id,t,x,y`). A header on line 1 (no
 /// field numeric) is skipped; CRLF line endings are accepted. Samples may
-/// appear in any order; duplicate `(object, t)` samples keep the last
-/// occurrence.
+/// appear in any order.
+///
+/// **Duplicate `(object, t)` samples keep the last occurrence** ("later fix
+/// wins", see [`TrajectoryBuilder::build`]). This deliberately differs from
+/// the streaming path: a live [`trajectory::FeedValidator`] *rejects* a
+/// duplicate timestamp, because by the time the duplicate arrives the first
+/// sample may already have been consumed downstream and cannot be retracted.
+/// Batch ingest sees the whole file before building, so it can honor the
+/// later correction. `convoy convert` reports how many samples a file lost
+/// to this collapsing so the divergence is visible.
 pub fn read_csv<R: Read>(reader: R) -> Result<TrajectoryDatabase> {
-    let reader = BufReader::new(reader);
+    Ok(read_csv_counting(reader)?.0)
+}
+
+/// [`read_csv`] plus the number of data samples parsed *before* duplicate
+/// `(object, t)` collapsing — the count backing
+/// [`crate::source::CsvSource`]'s scan statistics.
+pub(crate) fn read_csv_counting<R: Read>(reader: R) -> Result<(TrajectoryDatabase, u64)> {
+    let mut reader = BufReader::new(reader);
     let mut builders: BTreeMap<ObjectId, TrajectoryBuilder> = BTreeMap::new();
 
-    for (line_no, line) in reader.lines().enumerate() {
-        let line_no = line_no + 1;
-        let line = line.map_err(|e| TrajectoryError::Parse {
-            line: line_no,
-            message: e.to_string(),
-        })?;
+    // One reused line buffer: `BufReader::lines()` would allocate a fresh
+    // `String` per line, and this loop runs once per sample at 100M-point
+    // conversion scale.
+    let mut line = String::new();
+    let mut line_no = 0usize;
+    let mut records = 0u64;
+    loop {
+        line.clear();
+        let read = reader
+            .read_line(&mut line)
+            .map_err(|e| TrajectoryError::Io {
+                path: String::new(),
+                message: e.to_string(),
+            })?;
+        if read == 0 {
+            break;
+        }
+        line_no = line_no.saturating_add(1);
         if let Some((id, t, x, y)) = parse_csv_line(&line, line_no)? {
+            records = records.saturating_add(1);
             builders.entry(id).or_default().add(x, y, t);
         }
     }
@@ -105,14 +133,16 @@ pub fn read_csv<R: Read>(reader: R) -> Result<TrajectoryDatabase> {
     for (id, builder) in builders {
         db.insert(id, builder.build()?);
     }
-    Ok(db)
+    Ok((db, records))
 }
 
-/// Reads a database from a CSV file at `path`.
+/// Reads a database from a CSV file at `path`. A missing or unreadable file
+/// is a [`TrajectoryError::Io`], not a parse error — there is no line to
+/// point at.
 pub fn read_csv_file<P: AsRef<Path>>(path: P) -> Result<TrajectoryDatabase> {
-    let file = std::fs::File::open(&path).map_err(|e| TrajectoryError::Parse {
-        line: 0,
-        message: format!("cannot open {}: {e}", path.as_ref().display()),
+    let file = std::fs::File::open(&path).map_err(|e| TrajectoryError::Io {
+        path: path.as_ref().display().to_string(),
+        message: e.to_string(),
     })?;
     read_csv(file)
 }
@@ -182,7 +212,66 @@ mod tests {
 
     #[test]
     fn missing_file_is_a_parse_error() {
-        assert!(read_csv_file("/nonexistent/convoy.csv").is_err());
+        // Historically this *was* reported as `Parse { line: 0 }` — a parse
+        // error at a line that does not exist. It is an I/O error, and the
+        // message must name the path, not a pretend line number.
+        let err = read_csv_file("/nonexistent/convoy.csv").unwrap_err();
+        match &err {
+            TrajectoryError::Io { path, message } => {
+                assert_eq!(path, "/nonexistent/convoy.csv");
+                assert!(!message.is_empty());
+            }
+            other => panic!("expected an Io error, got {other:?}"),
+        }
+        let text = err.to_string();
+        assert!(
+            text.contains("cannot read /nonexistent/convoy.csv"),
+            "{text}"
+        );
+        assert!(!text.contains("line"), "{text}");
+    }
+
+    #[test]
+    fn batch_and_streaming_ingest_diverge_on_duplicates_as_documented() {
+        // The same file, both ingest paths. Batch `read_csv` collapses the
+        // duplicate `(object, t)` sample keeping the LAST occurrence; the
+        // streaming `FeedValidator` REJECTS the duplicate, keeping the FIRST.
+        // Both behaviors are intended (see the docs on `read_csv` and
+        // `FeedError::DuplicateTimestamp`); this test pins the divergence so
+        // a change on either side is a conscious one.
+        use trajectory::{FeedError, FeedValidator};
+        let csv = "1,0,1.0,0.0\n1,1,2.0,0.0\n1,1,9.0,0.0\n2,1,5.0,5.0\n";
+
+        let db = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(db.total_points(), 3);
+        // Batch: the later fix wins.
+        assert_eq!(db.get(ObjectId(1)).unwrap().sample_at(1).unwrap().x, 9.0);
+
+        let mut feed = FeedValidator::new();
+        let mut admitted: Vec<(ObjectId, i64, f64, f64)> = Vec::new();
+        let mut rejected = 0usize;
+        for (line_no, line) in csv.lines().enumerate() {
+            let (id, t, x, y) = parse_csv_line(line, line_no + 1).unwrap().unwrap();
+            match feed.admit(id, t, x, y) {
+                Ok(()) => admitted.push((id, t, x, y)),
+                Err(FeedError::DuplicateTimestamp { object, t }) => {
+                    assert_eq!((object, t), (ObjectId(1), 1));
+                    rejected += 1;
+                }
+                Err(other) => panic!("unexpected feed rejection {other:?}"),
+            }
+        }
+        // Streaming: the first sample stands, the duplicate is refused.
+        assert_eq!(rejected, 1);
+        assert_eq!(admitted.len(), 3);
+        assert!(admitted.contains(&(ObjectId(1), 1, 2.0, 0.0)));
+        assert!(!admitted.contains(&(ObjectId(1), 1, 9.0, 0.0)));
+
+        // And the pre-dedup count that `convoy convert` reports: 4 parsed,
+        // 3 survive, 1 duplicate.
+        let (counted_db, records) = read_csv_counting(csv.as_bytes()).unwrap();
+        assert_eq!(records, 4);
+        assert_eq!(counted_db.total_points(), 3);
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //! * [`generate`] / [`DatasetGenerator`]: the group-structured random-walk
 //!   generator with planted ground-truth convoys and irregular sampling.
 //! * [`io`]: plain-CSV import/export so real datasets can be dropped in.
+//! * [`container`]: the binary `.convoy` columnar container — time-blocked,
+//!   CRC-guarded, block-index-pruned windowed reads.
+//! * [`source`]: [`trajectory::TrajectorySource`] backends over both formats
+//!   plus the extension/magic sniffing factory [`open_source`].
 //!
 //! ## Example
 //!
@@ -29,14 +33,18 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod container;
 pub mod generator;
 pub mod ground_truth;
 pub mod io;
 pub mod noise;
 pub mod profile;
+pub mod source;
 
+pub use container::{write_container, write_container_file, ContainerError, ContainerReader};
 pub use generator::{generate, DatasetGenerator, GeneratedDataset};
 pub use ground_truth::PlantedConvoy;
 pub use io::{read_csv, write_csv};
 pub use noise::{add_gps_noise, downsample, stride_sample};
 pub use profile::{DatasetProfile, MovementModel, ProfileName};
+pub use source::{open_source, sniff_format, ContainerSource, CsvSource, InputFormat};

@@ -76,7 +76,10 @@ fn rules_for(rel: &str) -> Vec<fn(&FileAnalysis) -> Vec<RawFinding>> {
     ]) {
         active.push(rules::checked_time_arithmetic);
     }
-    if rel == "crates/stream/src/checkpoint.rs" || rel == "crates/datasets/src/io.rs" {
+    if rel == "crates/stream/src/checkpoint.rs"
+        || rel == "crates/datasets/src/io.rs"
+        || rel == "crates/datasets/src/container.rs"
+    {
         active.push(rules::no_panic_decode);
     }
     // Hot-path regions can be marked anywhere; the rule is a no-op without

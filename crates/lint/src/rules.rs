@@ -6,7 +6,7 @@
 //!
 //! | rule | guards | scope |
 //! |---|---|---|
-//! | `checked-time-arithmetic` | bare `+`/`-`/`*` on tick-named values | `core`, `stream`, `trajectory` |
+//! | `checked-time-arithmetic` | bare `+`/`-`/`*`/`+=`/`-=`/`*=` on tick-named values | `core`, `stream`, `trajectory` |
 //! | `no-panic-decode` | unwrap/expect/panic!/indexing on untrusted bytes | checkpoint decode + CSV parse |
 //! | `no-alloc-hot-path` | allocation constructors in marked hot regions | whole workspace |
 //! | `no-unwrap-in-lib` | `.unwrap()`/`.expect()` outside tests | library crates |
@@ -60,15 +60,18 @@ const TIME_SUBSTRINGS: &[&str] = &[
 
 fn is_time_name(name: &str) -> bool {
     let lower = name.to_ascii_lowercase();
-    TIME_EXACT.contains(&lower.as_str()) || TIME_SUBSTRINGS.iter().any(|s| lower.contains(s))
+    TIME_EXACT.contains(&lower.as_str())
+        || lower.ends_with("_t")
+        || lower.ends_with("_ts")
+        || TIME_SUBSTRINGS.iter().any(|s| lower.contains(s))
 }
 
-/// **checked-time-arithmetic** — flags bare binary `+`/`-`/`*` where either
-/// operand chain contains a tick/timestamp-named identifier. This is the
-/// PR 6 bug class (`window.end - h` overflowing at `i64::MIN`-adjacent
-/// horizons); checked/saturating methods and compound assignments
-/// (`+=` on counters) don't trip it because the lexer emits those as
-/// distinct tokens.
+/// **checked-time-arithmetic** — flags bare binary `+`/`-`/`*` and the
+/// compound assignments `+=`/`-=`/`*=` where either operand chain contains
+/// a tick/timestamp-named identifier. This is the PR 6 bug class
+/// (`window.end - h` overflowing at `i64::MIN`-adjacent horizons) and the
+/// PR 8 one (`next_t += 1` wrapping at a window ending on `i64::MAX`);
+/// checked/saturating methods don't trip it.
 pub fn checked_time_arithmetic(a: &FileAnalysis) -> Vec<RawFinding> {
     let mut out = Vec::new();
     for ci in 0..a.code.len() {
@@ -76,7 +79,9 @@ pub fn checked_time_arithmetic(a: &FileAnalysis) -> Vec<RawFinding> {
             continue;
         }
         let op = a.code_text(ci);
-        if !(a.code_kind(ci) == TokenKind::Punct && matches!(op, "+" | "-" | "*")) {
+        if !(a.code_kind(ci) == TokenKind::Punct
+            && matches!(op, "+" | "-" | "*" | "+=" | "-=" | "*="))
+        {
             continue;
         }
         if ci == 0 || !is_binary_position(a, ci) {

@@ -69,6 +69,34 @@ fn time_arith_skips_test_modules_and_strings() {
 }
 
 #[test]
+fn time_arith_flags_compound_assignments_on_time_names() {
+    // The PR 8 sweep bug: `self.next_t += 1` walked straight past i64::MAX.
+    let src = concat!(
+        "pub fn advance(&mut self) {\n",
+        "    self.next_t += 1;\n",
+        "    self.deadline_ts -= 2;\n",
+        "    self.tick *= 2;\n",
+        "}\n",
+    );
+    assert_eq!(
+        lines_of("crates/trajectory/src/s.rs", src, "checked-time-arithmetic"),
+        vec![2, 3, 4]
+    );
+}
+
+#[test]
+fn time_arith_accepts_checked_compound_updates_and_non_time_targets() {
+    let src = concat!(
+        "pub fn advance(&mut self) {\n",
+        "    self.next_t = self.next_t.saturating_add(1);\n",
+        "    self.count += 1;\n",
+        "    self.weight += 0.5;\n",
+        "}\n",
+    );
+    assert!(hits("crates/trajectory/src/s.rs", src).is_empty());
+}
+
+#[test]
 fn time_arith_sees_through_field_and_method_chains() {
     let src = "pub fn f(w: W) -> i64 {\n    w.interval.end - w.interval.start\n}\n";
     assert_eq!(
@@ -114,9 +142,14 @@ fn panic_decode_accepts_fallible_style() {
 }
 
 #[test]
-fn panic_decode_only_runs_on_the_two_decode_files() {
+fn panic_decode_only_runs_on_the_decode_files() {
     let src = "pub fn f(b: &[u8]) -> u8 { b[0] }\n";
     assert!(lines_of("crates/stream/src/stream.rs", src, "no-panic-decode").is_empty());
+    // The `.convoy` container decoder is an untrusted-byte path too.
+    assert_eq!(
+        lines_of("crates/datasets/src/container.rs", src, "no-panic-decode"),
+        vec![1]
+    );
 }
 
 #[test]

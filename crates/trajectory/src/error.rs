@@ -46,6 +46,25 @@ pub enum TrajectoryError {
         /// Human-readable description of the failure.
         message: String,
     },
+    /// An I/O failure while opening or reading trajectory input. Distinct
+    /// from [`TrajectoryError::Parse`]: a missing or unreadable file is not
+    /// a malformed line, and reports no pretend line number.
+    Io {
+        /// The path that failed to open or read (empty when the input was an
+        /// anonymous reader).
+        path: String,
+        /// The underlying I/O error, rendered.
+        message: String,
+    },
+    /// A binary trajectory container failed to decode (bad magic, version,
+    /// checksum, or structure). The message carries the backend's typed
+    /// error, rendered.
+    Format {
+        /// The path of the offending file (empty when decoding from memory).
+        path: String,
+        /// Description of the decode failure.
+        message: String,
+    },
     /// An invalid parameter value was supplied (e.g. a non-positive λ).
     InvalidParameter {
         /// Name of the parameter.
@@ -85,6 +104,20 @@ impl fmt::Display for TrajectoryError {
             }
             TrajectoryError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
+            }
+            TrajectoryError::Io { path, message } => {
+                if path.is_empty() {
+                    write!(f, "I/O error: {message}")
+                } else {
+                    write!(f, "cannot read {path}: {message}")
+                }
+            }
+            TrajectoryError::Format { path, message } => {
+                if path.is_empty() {
+                    write!(f, "invalid trajectory container: {message}")
+                } else {
+                    write!(f, "invalid trajectory container {path}: {message}")
+                }
             }
             TrajectoryError::InvalidParameter { name, message } => {
                 write!(f, "invalid parameter `{name}`: {message}")
@@ -131,6 +164,20 @@ mod tests {
                     message: "must be positive".into(),
                 },
                 "lambda",
+            ),
+            (
+                TrajectoryError::Io {
+                    path: "/data/truck.csv".into(),
+                    message: "No such file or directory".into(),
+                },
+                "cannot read /data/truck.csv",
+            ),
+            (
+                TrajectoryError::Format {
+                    path: "x.convoy".into(),
+                    message: "bad magic".into(),
+                },
+                "invalid trajectory container x.convoy",
             ),
         ];
         for (err, needle) in cases {

@@ -30,6 +30,15 @@ pub enum FeedError {
     /// The object already has a sample at this timestamp. Per-object
     /// timestamps must strictly increase (matching [`crate::Trajectory`]'s
     /// construction invariant).
+    ///
+    /// This is the **first-sample-wins** half of the suite's duplicate
+    /// policy: a live feed cannot retract a sample downstream consumers may
+    /// already have acted on, so the later duplicate is refused. Batch CSV
+    /// ingest sees the whole file before building and deliberately keeps the
+    /// *last* occurrence instead ("later fix wins", see
+    /// [`crate::TrajectoryBuilder::build`]); `traj-datasets` pins the
+    /// divergence with a cross-path test, and `convoy convert` reports the
+    /// collapsed-duplicate count.
     DuplicateTimestamp {
         /// The object the rejected sample belongs to.
         object: ObjectId,

@@ -51,6 +51,7 @@ pub mod error;
 pub mod feed;
 pub mod geometry;
 pub mod point;
+pub mod source;
 pub mod stats;
 pub mod sweep;
 pub mod time;
@@ -64,6 +65,7 @@ pub use geometry::bbox::BoundingBox;
 pub use geometry::point::Point;
 pub use geometry::segment::Segment;
 pub use point::TrajPoint;
+pub use source::{ScanStats, TrajectorySource};
 pub use stats::DatasetStats;
 pub use sweep::SnapshotSweep;
 pub use time::{TimeInterval, TimePartition, TimePoint};

@@ -53,6 +53,11 @@ pub struct SnapshotSweep<'a> {
     cursors: Vec<ObjectCursor<'a>>,
     next_t: TimePoint,
     end: TimePoint,
+    /// Set once the snapshot at `end` has been produced. The end state is a
+    /// flag rather than `next_t > end` because a window ending at
+    /// `i64::MAX` has no representable "past the end" time point —
+    /// incrementing there is exactly the overflow this guards against.
+    finished: bool,
     policy: SnapshotPolicy,
     /// Capacity hint carried between ticks: consecutive snapshots have
     /// near-identical sizes, so the previous length avoids re-growing the
@@ -82,6 +87,7 @@ impl<'a> SnapshotSweep<'a> {
             cursors,
             next_t: window.start,
             end: window.end,
+            finished: window.start > window.end,
             policy,
             last_len: 0,
         }
@@ -94,6 +100,7 @@ impl<'a> SnapshotSweep<'a> {
             cursors: Vec::new(),
             next_t: 1,
             end: 0,
+            finished: true,
             policy,
             last_len: 0,
         }
@@ -101,7 +108,7 @@ impl<'a> SnapshotSweep<'a> {
 
     /// The number of time points the sweep has not yet produced.
     pub fn remaining(&self) -> usize {
-        if self.next_t > self.end {
+        if self.finished {
             0
         } else {
             self.end.saturating_sub(self.next_t).saturating_add(1) as usize
@@ -113,11 +120,16 @@ impl Iterator for SnapshotSweep<'_> {
     type Item = Snapshot;
 
     fn next(&mut self) -> Option<Snapshot> {
-        if self.next_t > self.end {
+        if self.finished {
             return None;
         }
         let t = self.next_t;
-        self.next_t += 1;
+        // Checked advance: a window ending at `i64::MAX` must flip to the
+        // finished state, not wrap (release) or panic (debug) on `t + 1`.
+        match t.checked_add(1) {
+            Some(next) if next <= self.end => self.next_t = next,
+            _ => self.finished = true,
+        }
 
         let mut entries: Vec<SnapshotEntry> = Vec::with_capacity(self.last_len);
         for cursor in &mut self.cursors {
@@ -273,6 +285,29 @@ mod tests {
         assert_eq!(swept.len(), 5);
         assert_eq!(swept[0].time, 0);
         assert_eq!(swept[4].time, 4);
+    }
+
+    #[test]
+    fn window_ending_at_i64_max_terminates_and_matches_per_tick() {
+        // Regression: the sweep used to advance with a bare `next_t += 1`,
+        // which panics in debug (and wraps into an infinite loop in release)
+        // when the window ends at `i64::MAX`.
+        let mut db = TrajectoryDatabase::new();
+        db.insert(
+            ObjectId(1),
+            traj(&[(0.0, 0.0, i64::MAX - 2), (2.0, 0.0, i64::MAX)]),
+        );
+        let window = TimeInterval::new(i64::MAX - 2, i64::MAX);
+        let mut sweep = SnapshotSweep::new(&db, window, SnapshotPolicy::Interpolate);
+        assert_eq!(sweep.remaining(), 3);
+        let swept: Vec<Snapshot> = sweep.by_ref().collect();
+        assert_eq!(swept.len(), 3);
+        for (snapshot, t) in swept.iter().zip([i64::MAX - 2, i64::MAX - 1, i64::MAX]) {
+            assert_eq!(snapshot, &db.snapshot(t, SnapshotPolicy::Interpolate));
+        }
+        // The exhausted sweep stays exhausted.
+        assert_eq!(sweep.remaining(), 0);
+        assert_eq!(sweep.next(), None);
     }
 
     #[test]

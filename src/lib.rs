@@ -59,12 +59,16 @@ pub mod prelude {
         merge_shard_clusters, shard_clusters, sharded_snapshot_clusters, snapshot_clusters,
         Cluster, ShardClusters, ShardGrid,
     };
-    pub use traj_datasets::{generate, read_csv, write_csv, DatasetProfile, ProfileName};
+    pub use traj_datasets::{
+        generate, open_source, read_csv, write_container_file, write_csv, ContainerError,
+        ContainerReader, DatasetProfile, InputFormat, ProfileName,
+    };
     pub use traj_simplify::{
         DouglasPeucker, DouglasPeuckerPlus, DouglasPeuckerStar, SimplificationMethod, Simplifier,
         ToleranceMode,
     };
     pub use trajectory::{
-        ObjectId, Point, TimeInterval, TrajPoint, Trajectory, TrajectoryBuilder, TrajectoryDatabase,
+        ObjectId, Point, ScanStats, TimeInterval, TrajPoint, Trajectory, TrajectoryBuilder,
+        TrajectoryDatabase, TrajectorySource,
     };
 }
