@@ -1,0 +1,141 @@
+//! Recording-cost microbenches for the `convoy-obs` layer: the clustering
+//! and streaming hot paths with the no-op recorder vs. a live [`Registry`]
+//! attached. `BENCH_obs_overhead.json` records measurement-grade numbers;
+//! the acceptance bar is live-registry overhead ≤ 3% on
+//! `snapshot_clusters/100000` against `BENCH_baseline.json`'s
+//! `new_csr_warmed` entry (same seeds and snapshot construction as
+//! `micro_primitives`, so the two files compare directly).
+
+use convoy_bench::prepared;
+use convoy_obs::{Obs, Registry};
+use convoy_stream::{feed_order_samples, ConvoyStream, FeedIngest, StreamConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use traj_cluster::{GridIndex, SnapshotClusterer};
+use traj_datasets::ProfileName;
+use trajectory::database::SnapshotEntry;
+use trajectory::geometry::Point;
+use trajectory::{ObjectId, Snapshot};
+
+/// Point counts, query radius and density threshold — identical to
+/// `micro_primitives` so rows line up across the two bench files.
+const SIZES: [usize; 3] = [1_000, 10_000, 100_000];
+const EPS: f64 = 3.0;
+const MIN_PTS: usize = 3;
+
+/// Uniform points at constant density (world side scales with √n), exactly
+/// as `micro_primitives::scatter_points` builds them.
+fn scatter_points(rng: &mut StdRng, n: usize) -> Vec<Point> {
+    let side = (n as f64).sqrt() * 2.0;
+    (0..n)
+        .map(|_| Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+        .collect()
+}
+
+fn scatter_snapshot(rng: &mut StdRng, n: usize) -> Snapshot {
+    Snapshot {
+        time: 0,
+        entries: scatter_points(rng, n)
+            .into_iter()
+            .enumerate()
+            .map(|(i, position)| SnapshotEntry {
+                id: ObjectId(i as u64),
+                position,
+                interpolated: false,
+            })
+            .collect(),
+    }
+}
+
+/// The two recorders under comparison. The live registry is shared across
+/// iterations — counters just keep growing, which is exactly the steady
+/// state the overhead bound is about.
+fn recorders() -> Vec<(&'static str, Obs)> {
+    vec![
+        ("noop", Obs::noop()),
+        ("live", Obs::registry(Arc::new(Registry::new()))),
+    ]
+}
+
+/// The per-tick engine hot path: a warmed [`SnapshotClusterer`] whose
+/// `cluster.*` counters and `cluster_ns` histogram fire on every call when
+/// the registry is live. Seed 23 — the same snapshots as
+/// `micro/snapshot_clusters` (compare `noop` here to `new_csr_warmed`
+/// there).
+fn bench_snapshot_clusters(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut group = c.benchmark_group("obs/snapshot_clusters");
+    for n in SIZES {
+        let snapshot = scatter_snapshot(&mut rng, n);
+        for (label, obs) in recorders() {
+            group.bench_with_input(BenchmarkId::new(label, n), &snapshot, |b, snap| {
+                let mut clusterer = SnapshotClusterer::with_obs(obs.clone());
+                clusterer.cluster_into(snap, EPS, MIN_PTS);
+                b.iter(|| clusterer.cluster_into(snap, EPS, MIN_PTS).len())
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Uninstrumented control: the CSR range-query primitive has no obs hooks,
+/// so this row must stay at `micro/range_query`'s `new_csr_into` baseline
+/// (seed 22, same construction) — it detects the obs layer accidentally
+/// taxing a path it never touches.
+fn bench_range_query(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(22);
+    let mut group = c.benchmark_group("obs/range_query");
+    for n in SIZES {
+        let points = scatter_points(&mut rng, n);
+        let index = GridIndex::build(points.clone(), EPS);
+        group.bench_with_input(BenchmarkId::new("new_csr_into", n), &points, |b, pts| {
+            let mut buf = Vec::new();
+            b.iter(|| {
+                let mut hits = 0usize;
+                for p in pts {
+                    index.range_query_into(p, &mut buf);
+                    hits += buf.len();
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A full feed-to-finish stream replay — ingest validation, partition
+/// close, CMC fold and convoy confirmation — per iteration, with and
+/// without the `stream.*`/`cmc.*`/`cluster.*` instrumentation recording.
+fn bench_stream_replay(c: &mut Criterion) {
+    let data = prepared(ProfileName::Truck, 0.02);
+    let samples = feed_order_samples(&data.dataset.database);
+    // The CI smoke parameters: explicit δ/λ, no auto-tuning in the loop.
+    let config = StreamConfig::new(data.query, 2.0, 5);
+    let mut group = c.benchmark_group("obs/stream_replay");
+    group.sample_size(10);
+    for (label, obs) in recorders() {
+        group.bench_function(BenchmarkId::new(label, "truck_0.02"), |b| {
+            b.iter(|| {
+                let mut stream = ConvoyStream::new(config);
+                stream.set_obs(obs.clone());
+                for (id, p) in &samples {
+                    stream
+                        .push(*id, p.t, p.x, p.y)
+                        .expect("database samples form a valid feed");
+                }
+                stream.finish().convoys.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_snapshot_clusters,
+    bench_range_query,
+    bench_stream_replay
+);
+criterion_main!(benches);

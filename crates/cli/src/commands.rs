@@ -4,19 +4,22 @@
 
 use crate::args::{ArgError, ParsedArgs};
 use convoy_core::{
-    compare_result_sets, mc2, CmcEngine, CmcStats, ConvoyQuery, CutsConfig, CutsVariant, Discovery,
-    Mc2Config, Method,
+    compare_result_sets, mc2, publish_discovery, publish_stage_timings, CmcEngine, ConvoyQuery,
+    CutsConfig, CutsVariant, Discovery, Mc2Config, Method,
 };
+use convoy_obs::{export, Obs, Registry};
 use convoy_stream::{
-    feed_order_samples, replay_config, ConvoyStream, EvictionPolicy, FeedIngest, StreamConfig,
+    feed_order_samples, publish_stream_stats, replay_config, ConvoyStream, EvictionPolicy,
+    FeedIngest, StreamConfig,
 };
+use std::sync::Arc;
 use traj_datasets::container::DEFAULT_BLOCK_RECORDS;
 use traj_datasets::io::{parse_csv_line, write_csv_file};
 use traj_datasets::{
     generate, open_source, write_container_file, DatasetProfile, InputFormat, ProfileName,
 };
 use traj_simplify::{ReductionStats, SimplificationMethod, ToleranceMode};
-use trajectory::{ScanStats, TimeInterval, TrajectoryDatabase, TrajectorySource};
+use trajectory::{publish_scan_stats, TimeInterval, TrajectoryDatabase, TrajectorySource};
 
 /// A command error: either bad arguments or a failure while executing.
 #[derive(Debug)]
@@ -68,7 +71,7 @@ COMMANDS:
               them and keeps the first).
     discover  FILE [--method cmc|cuts|cuts-plus|cuts-star] --m N --k N --e F
               [--delta F] [--lambda N] [--global-tolerance] [--stats]
-              [--from T] [--to T]
+              [--from T] [--to T] [--trace PATH] [--metrics-json PATH]
               [--stream | --parallel [N] | --shards [N]]   (CMC engine:
               streamed sweep is the default; --parallel N partitions time
               across N worker threads; --shards N grid-shards space into N
@@ -78,11 +81,15 @@ COMMANDS:
               --from/--to restrict discovery to samples with T inside the
               inclusive tick window (no interpolation at the edges); on a
               `.convoy` input only the blocks whose time range intersects
-              the window are read. --stats additionally prints the CmcState
-              fold counters and the source scan counters (blocks read/total).
+              the window are read. --stats additionally prints the metric
+              registry (fold counters, candidate/refinement counts, source
+              scan counters). --trace PATH writes a Chrome trace_event span
+              tree (loadable in Perfetto / chrome://tracing); --metrics-json
+              PATH writes the full metrics snapshot (counters, gauges,
+              histograms and wall-clock stage timings) as versioned JSON.
     stream    FILE|- --m N --k N --e F [--method cuts|cuts-plus|cuts-star]
               [--delta F] [--lambda N] [--horizon H] [--max-candidates N]
-              [--limit N] [--strict]
+              [--limit N] [--strict] [--trace PATH] [--metrics-json PATH]
               [--checkpoint-path P [--checkpoint-every K]] [--resume P]
               Streaming discovery: feed samples through the incremental
               CuTS pipeline in time order, emitting convoys as they
@@ -324,30 +331,82 @@ pub fn convert_command(args: &ParsedArgs) -> Result<String, CommandError> {
         db.len(),
         db.total_points(),
     );
-    out.push_str(&format!(
-        "duplicate samples collapsed: {duplicates} (batch keeps the last sample per (object, t); \
-         a streaming feed rejects them and keeps the first)\n"
-    ));
+    // The conversion counters ride the same registry rendering path as the
+    // other commands' stats blocks. `convert.duplicates_collapsed` counts the
+    // (object, t) duplicates the batch loader collapsed (it keeps the last
+    // sample; a streaming feed rejects them and keeps the first).
+    let views = Registry::new();
+    publish_scan_stats(&views, &scan);
+    views.counter_store("convert.duplicates_collapsed", duplicates);
+    views.counter_store("convert.objects", db.len() as u64);
+    views.counter_store("convert.points", db.total_points() as u64);
+    out.push_str(&export::render_text(&views.snapshot()));
     Ok(out)
 }
 
-/// Renders a [`CmcStats`] block (the `--stats` output of `discover` and the
-/// summary of `stream`).
-fn format_fold_stats(stats: &CmcStats) -> String {
-    format!(
-        "stats: peak candidates {}, ticks ingested {}, gap closures {}, convoys closed {}",
-        stats.peak_candidates, stats.ticks_ingested, stats.gap_closures, stats.convoys_closed
-    )
+/// The `--trace` / `--metrics-json` export flags shared by `discover` and
+/// `stream`. When either asks for an export a live [`Registry`] records real
+/// spans and wall-clock timings alongside the deterministic counters;
+/// otherwise `obs` is the zero-cost no-op and nothing is recorded.
+///
+/// The `--stats` terminal block deliberately does **not** come from this
+/// registry: it is rendered from a fresh views-only registry fed by the
+/// deterministic `publish_*` functions, so the report text stays
+/// byte-identical run to run (the equivalence tests diff it). Wall-clock
+/// values only ever reach the export files.
+struct ObsSetup {
+    registry: Option<Arc<Registry>>,
+    obs: Obs,
+    trace: Option<String>,
+    metrics: Option<String>,
 }
 
-/// Renders the source-level scan counters (`--stats` output of `discover`):
-/// for `.convoy` inputs a windowed query reads strictly fewer blocks than a
-/// full scan, and this line is where that shows up.
-fn format_scan_stats(format: &str, scan: &ScanStats) -> String {
-    format!(
-        "scan: {format} source, read {} of {} block(s), {} record(s)",
-        scan.blocks_read, scan.blocks_total, scan.records_read
-    )
+fn obs_from_args(args: &ParsedArgs) -> Result<ObsSetup, CommandError> {
+    let path_of = |key: &str| -> Result<Option<String>, CommandError> {
+        match args.get(key) {
+            Some(path) => Ok(Some(path.to_string())),
+            None if args.has_flag(key) => {
+                Err(CommandError(format!("--{key} requires an output path")))
+            }
+            None => Ok(None),
+        }
+    };
+    let trace = path_of("trace")?;
+    let metrics = path_of("metrics-json")?;
+    if trace.is_none() && metrics.is_none() {
+        return Ok(ObsSetup {
+            registry: None,
+            obs: Obs::noop(),
+            trace,
+            metrics,
+        });
+    }
+    let registry = Arc::new(Registry::new());
+    Ok(ObsSetup {
+        obs: Obs::registry(registry.clone()),
+        registry: Some(registry),
+        trace,
+        metrics,
+    })
+}
+
+impl ObsSetup {
+    /// Writes the requested export files from the live registry. A no-op
+    /// when neither flag was given.
+    fn write_outputs(&self) -> Result<(), CommandError> {
+        let Some(registry) = &self.registry else {
+            return Ok(());
+        };
+        if let Some(path) = &self.metrics {
+            std::fs::write(path, export::render_json(&registry.snapshot()))
+                .map_err(|e| CommandError(format!("cannot write metrics JSON {path}: {e}")))?;
+        }
+        if let Some(path) = &self.trace {
+            std::fs::write(path, export::render_trace(&registry.spans()))
+                .map_err(|e| CommandError(format!("cannot write trace {path}: {e}")))?;
+        }
+        Ok(())
+    }
 }
 
 /// Parses the optional `--from` / `--to` tick bounds into a time window.
@@ -395,8 +454,12 @@ pub fn discover_command(args: &ParsedArgs) -> Result<String, CommandError> {
         "shards",
         "from",
         "to",
+        "trace",
+        "metrics-json",
     ])?;
+    let obs = obs_from_args(args)?;
     let (path, mut source) = open_input(args)?;
+    source.set_obs(obs.obs.clone());
     let window = parse_window(args)?;
     let db = match window {
         Some(window) => source.load_window(window)?,
@@ -431,8 +494,20 @@ pub fn discover_command(args: &ParsedArgs) -> Result<String, CommandError> {
     let outcome = Discovery::new(method)
         .with_config(config)
         .with_cmc_engine(engine)
+        .with_obs(obs.obs.clone())
         .run(&db, &query);
     let limit: usize = args.get_parsed_or("limit", 50)?;
+
+    if let Some(live) = &obs.registry {
+        // Reconcile the live registry with the authoritative outcome (store
+        // semantics make this idempotent over the partials recorded during
+        // the run), add the wall-clock stage timings — which never appear in
+        // the terminal report — and write the export files.
+        publish_discovery(live, &outcome);
+        publish_scan_stats(live, &scan);
+        publish_stage_timings(live, &outcome.timings);
+        obs.write_outputs()?;
+    }
 
     let mut out = format!(
         "{path}: {} convoy(s) found by {} in {:.3} s (m={}, k={}, e={})\n",
@@ -473,10 +548,13 @@ pub fn discover_command(args: &ParsedArgs) -> Result<String, CommandError> {
         ));
     }
     if args.has_flag("stats") {
-        out.push_str(&format_fold_stats(&outcome.stats.fold));
-        out.push('\n');
-        out.push_str(&format_scan_stats(source_format, &scan));
-        out.push('\n');
+        // One rendering path for every stats block: deterministic views
+        // published into a fresh registry, rendered by the text exporter.
+        out.push_str(&format!("scan: {source_format} source\n"));
+        let views = Registry::new();
+        publish_discovery(&views, &outcome);
+        publish_scan_stats(&views, &scan);
+        out.push_str(&export::render_text(&views.snapshot()));
     }
     for convoy in outcome.convoys.iter().take(limit) {
         out.push_str(&format!("  {convoy}\n"));
@@ -503,7 +581,10 @@ pub fn stream_command(args: &ParsedArgs) -> Result<String, CommandError> {
         "checkpoint-every",
         "resume",
         "strict",
+        "trace",
+        "metrics-json",
     ])?;
+    let obs = obs_from_args(args)?;
     let path = args
         .positional
         .first()
@@ -546,7 +627,7 @@ pub fn stream_command(args: &ParsedArgs) -> Result<String, CommandError> {
                 )));
             }
         }
-        let stream = ConvoyStream::restore(ckpt)
+        let stream = ConvoyStream::restore_with_obs(ckpt, &obs.obs)
             .map_err(|e| CommandError(format!("cannot resume from {ckpt}: {e}")))?;
         let samples = if path == "-" {
             None
@@ -628,7 +709,9 @@ pub fn stream_command(args: &ParsedArgs) -> Result<String, CommandError> {
                 Some(feed_order_samples(&db)),
             )
         };
-        (ConvoyStream::new(config.with_eviction(eviction)), samples)
+        let mut stream = ConvoyStream::new(config.with_eviction(eviction));
+        stream.set_obs(obs.obs.clone());
+        (stream, samples)
     };
 
     let config = *stream.config();
@@ -778,16 +861,16 @@ pub fn stream_command(args: &ParsedArgs) -> Result<String, CommandError> {
         out.push_str(&format!("rejected samples: {rejected}\n"));
     }
     let stats = outcome.stats;
-    out.push_str(&format!(
-        "partitions closed: {}, filter candidates: {} (peak open {}), evicted: {}, peak samples buffered: {}\n",
-        stats.partitions_closed,
-        stats.filter_candidates,
-        stats.peak_filter_candidates,
-        stats.candidates_evicted,
-        stats.peak_samples_buffered,
-    ));
-    out.push_str(&format_fold_stats(&stats.fold));
-    out.push('\n');
+    out.push_str(&format!("partitions closed: {}\n", stats.partitions_closed));
+    // Same rendering path as `discover --stats`: deterministic views into a
+    // fresh registry, rendered by the text exporter.
+    let views = Registry::new();
+    publish_stream_stats(&views, &stats);
+    out.push_str(&export::render_text(&views.snapshot()));
+    if let Some(live) = &obs.registry {
+        publish_stream_stats(live, &stats);
+        obs.write_outputs()?;
+    }
     Ok(out)
 }
 
@@ -880,6 +963,17 @@ mod tests {
         let dir = std::env::temp_dir().join("convoy-cli-tests");
         std::fs::create_dir_all(&dir).unwrap();
         dir.join(name)
+    }
+
+    /// Value of a registry-rendered metric line (`  name  value`) in a report.
+    fn metric(report: &str, name: &str) -> u64 {
+        report
+            .lines()
+            .find_map(|l| {
+                let mut fields = l.split_whitespace();
+                (fields.next() == Some(name)).then(|| fields.next().unwrap().parse().unwrap())
+            })
+            .unwrap_or_else(|| panic!("no metric `{name}` in:\n{report}"))
     }
 
     fn generate_fixture(name: &str) -> String {
@@ -1231,10 +1325,7 @@ mod tests {
         let args = ParsedArgs::parse([bin.as_str(), back.as_str()]).unwrap();
         let report = convert_command(&args).unwrap();
         assert!(report.contains("(convoy) -> "), "{report}");
-        assert!(
-            report.contains("duplicate samples collapsed: 0"),
-            "{report}"
-        );
+        assert_eq!(metric(&report, "convert.duplicates_collapsed"), 0);
         assert_eq!(load_path(&back).unwrap(), load_path(&csv).unwrap());
 
         // A file with a duplicate (object, t) sample: the count is surfaced.
@@ -1243,10 +1334,8 @@ mod tests {
         let dup_bin = temp_csv("convert-dup.convoy").to_str().unwrap().to_string();
         let args = ParsedArgs::parse([dup.as_str(), dup_bin.as_str()]).unwrap();
         let report = convert_command(&args).unwrap();
-        assert!(
-            report.contains("duplicate samples collapsed: 1"),
-            "{report}"
-        );
+        assert_eq!(metric(&report, "convert.duplicates_collapsed"), 1);
+        assert_eq!(metric(&report, "convert.points"), 2);
         assert!(report.contains("2 point(s)"), "{report}");
 
         // An output without a known extension is rejected up front.
@@ -1263,11 +1352,13 @@ mod tests {
         let k = profile.k.to_string();
         let e = profile.e.to_string();
         // Everything except the input path, the wall-clock timing and the
-        // scan counters must match byte for byte.
+        // scan counters (the `scan:` source line and the `scan.*` registry
+        // lines, which legitimately differ per backend) must match byte for
+        // byte.
         let comparable = |report: &str| -> Vec<String> {
             report
                 .lines()
-                .filter(|l| !l.starts_with("scan:"))
+                .filter(|l| !l.starts_with("scan:") && !l.trim_start().starts_with("scan."))
                 .map(|l| {
                     if l.contains("convoy(s) found") {
                         let tail = l.split_once(": ").map_or(l, |(_, t)| t);
@@ -1308,15 +1399,10 @@ mod tests {
             vec![input, "--m", "3", "--k", "2", "--e", "30", "--stats"]
         }
         let scan_counts = |report: &str| -> (u64, u64) {
-            let line = report
-                .lines()
-                .find(|l| l.starts_with("scan:"))
-                .expect("a scan line under --stats");
-            let mut nums = line
-                .split(|c: char| !c.is_ascii_digit())
-                .filter(|s| !s.is_empty())
-                .map(|s| s.parse::<u64>().unwrap());
-            (nums.next().unwrap(), nums.next().unwrap())
+            (
+                metric(report, "scan.blocks_read"),
+                metric(report, "scan.blocks_total"),
+            )
         };
 
         // Full scan reads every block; there are several at 8 records each.
@@ -1340,7 +1426,7 @@ mod tests {
         let convoys = |report: &str| -> Vec<String> {
             report
                 .lines()
-                .filter(|l| l.starts_with("  "))
+                .filter(|l| l.starts_with("  ⟨"))
                 .map(str::to_string)
                 .collect()
         };
@@ -1351,6 +1437,98 @@ mod tests {
         args.extend(["--from", "5", "--to", "2"]);
         let err = discover_command(&ParsedArgs::parse(args).unwrap()).unwrap_err();
         assert!(err.to_string().contains("empty window"), "{err}");
+    }
+
+    #[test]
+    fn discover_writes_schema_valid_metrics_and_trace_exports() {
+        let path = generate_fixture("obs-export.csv");
+        let trace = temp_csv("obs-export.trace.json");
+        let metrics = temp_csv("obs-export.metrics.json");
+        let args = ParsedArgs::parse([
+            path.as_str(),
+            "--method",
+            "cmc",
+            "--m",
+            "3",
+            "--k",
+            "5",
+            "--e",
+            "10",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--metrics-json",
+            metrics.to_str().unwrap(),
+        ])
+        .unwrap();
+        let report = discover_command(&args).unwrap();
+        assert!(report.contains("convoy(s) found by CMC"), "{report}");
+
+        // The metrics snapshot validates against the published v1 schema and
+        // carries both the deterministic views and the wall-clock timings.
+        let schema_path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../schemas/metrics-v1.schema.json"
+        );
+        let schema =
+            convoy_obs::json::parse(&std::fs::read_to_string(schema_path).unwrap()).unwrap();
+        let doc = convoy_obs::json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        convoy_obs::json::validate(&schema, &doc).expect("metrics match the v1 schema");
+        let counters = doc.get("counters").expect("counters object");
+        assert!(counters.get("cmc.ticks_ingested").is_some(), "views");
+        assert!(counters.get("scan.blocks_read").is_some(), "scan views");
+        assert!(counters.get("discover.total_ns").is_some(), "timings");
+
+        // The trace is a well-formed Chrome trace_event document rooted at
+        // the discover span.
+        let trace_text = std::fs::read_to_string(&trace).unwrap();
+        let trace_doc = convoy_obs::json::parse(&trace_text).unwrap();
+        let events = convoy_obs::json::validate_trace(&trace_doc).expect("trace well-formed");
+        assert!(events > 0);
+        assert!(trace_text.contains("\"discover\""), "{trace_text}");
+
+        // A bare --trace with no path is an error, not a silent no-op.
+        let args = ParsedArgs::parse([
+            path.as_str(),
+            "--m",
+            "3",
+            "--k",
+            "5",
+            "--e",
+            "10",
+            "--trace",
+        ])
+        .unwrap();
+        assert!(discover_command(&args).is_err());
+    }
+
+    #[test]
+    fn stream_writes_metrics_and_trace_exports() {
+        let path = generate_fixture("stream-obs.csv");
+        let trace = temp_csv("stream-obs.trace.json");
+        let metrics = temp_csv("stream-obs.metrics.json");
+        let args = ParsedArgs::parse([
+            path.as_str(),
+            "--m",
+            "3",
+            "--k",
+            "5",
+            "--e",
+            "10",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--metrics-json",
+            metrics.to_str().unwrap(),
+        ])
+        .unwrap();
+        let report = stream_command(&args).unwrap();
+        assert!(report.contains("partitions closed:"), "{report}");
+
+        let doc = convoy_obs::json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        let counters = doc.get("counters").expect("counters object");
+        assert!(counters.get("stream.samples_ingested").is_some());
+        assert!(counters.get("stream.partitions_closed").is_some());
+        let trace_doc = convoy_obs::json::parse(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        assert!(convoy_obs::json::validate_trace(&trace_doc).unwrap() > 0);
     }
 
     #[test]

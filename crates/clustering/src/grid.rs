@@ -48,6 +48,7 @@ use crate::cluster::Cluster;
 use crate::dbscan::{
     dbscan, dbscan_with_core_flags_into, labels_to_clusters, DbscanScratch, Label, RegionQuery,
 };
+use convoy_obs::Obs;
 use trajectory::geometry::Point;
 use trajectory::{ObjectId, Snapshot};
 
@@ -449,12 +450,32 @@ pub struct SnapshotClusterer {
     /// Pooled output clusters; the first `n` are overwritten per call, the
     /// rest keep stale members but are never exposed.
     clusters: Vec<Cluster>,
+    /// Recorder for the `cluster.*` metrics; the no-op default costs one
+    /// branch per call. A live [`convoy_obs::Registry`] stays within the
+    /// zero-allocation contract: metric names are `&'static str` keys whose
+    /// map nodes exist after the first call.
+    obs: Obs,
 }
 
 impl SnapshotClusterer {
     /// Creates an empty clusterer (buffers grow on first use).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty clusterer recording into `obs`.
+    pub fn with_obs(obs: Obs) -> Self {
+        SnapshotClusterer {
+            obs,
+            ..Self::default()
+        }
+    }
+
+    /// Attaches a recorder for subsequent [`SnapshotClusterer::cluster_into`]
+    /// calls (`cluster.calls` / `cluster.points` / `cluster.clusters_found`
+    /// counters and the `cluster.call_ns` latency histogram).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Density-clusters the objects of `snapshot` (DBSCAN with range `e` and
@@ -466,7 +487,14 @@ impl SnapshotClusterer {
     /// clusters out if they must outlive the tick).
     // lint: hot-path — the steady-state per-tick clustering entry point (zero_alloc.rs proves a run; this proves the code)
     pub fn cluster_into(&mut self, snapshot: &Snapshot, e: f64, m: usize) -> &[Cluster] {
+        let live = self.obs.enabled();
+        let started_ns = if live { self.obs.now_ns() } else { 0 };
         if snapshot.len() < m {
+            if live {
+                self.obs.counter_add("cluster.calls", 1);
+                self.obs
+                    .counter_add("cluster.points", snapshot.len() as u64);
+            }
             return &[];
         }
         self.ids.clear();
@@ -507,6 +535,17 @@ impl SnapshotClusterer {
                 self.pairs[start..cursor]
                     .iter()
                     .map(|&(_, i)| ids[i as usize]),
+            );
+        }
+        if live {
+            self.obs.counter_add("cluster.calls", 1);
+            self.obs
+                .counter_add("cluster.points", self.ids.len() as u64);
+            self.obs
+                .counter_add("cluster.clusters_found", num_clusters as u64);
+            self.obs.histogram_record(
+                "cluster.call_ns",
+                self.obs.now_ns().saturating_sub(started_ns),
             );
         }
         &self.clusters[..num_clusters as usize]

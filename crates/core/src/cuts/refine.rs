@@ -39,6 +39,7 @@ use crate::cmc::cmc_windowed;
 use crate::cuts::partition::PartitionClusters;
 use crate::engine::{CmcState, CmcStats};
 use crate::query::{Convoy, ConvoyQuery};
+use convoy_obs::Obs;
 use std::collections::BTreeSet;
 use trajectory::{
     ObjectId, Snapshot, SnapshotPolicy, SnapshotSweep, TimeInterval, TimePoint, TrajectoryDatabase,
@@ -216,6 +217,13 @@ impl RefineFold {
         }
     }
 
+    /// Attaches a metrics recorder to the inner [`CmcState`]: per-tick
+    /// `cmc.*` fold metrics plus the `cluster.*` metrics of its clusterer
+    /// (see [`CmcState::set_obs`]).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.state.set_obs(obs);
+    }
+
     /// Convoys whose chains closed since the last drain (the streaming
     /// consumption path).
     pub fn drain_closed(&mut self) -> Vec<Convoy> {
@@ -319,6 +327,18 @@ pub fn refine_partitions(
     query: &ConvoyQuery,
     partitions: &[PartitionClusters],
 ) -> (Vec<Convoy>, CmcStats) {
+    refine_partitions_obs(db, query, partitions, &Obs::noop())
+}
+
+/// Like [`refine_partitions`], recording the fold's `cmc.*` and `cluster.*`
+/// metrics into `obs`. (The surrounding `discover.refine` span is the
+/// caller's — [`crate::discovery::Discovery`] wraps this call.)
+pub fn refine_partitions_obs(
+    db: &TrajectoryDatabase,
+    query: &ConvoyQuery,
+    partitions: &[PartitionClusters],
+    obs: &Obs,
+) -> (Vec<Convoy>, CmcStats) {
     assert!(
         partitions
             .windows(2)
@@ -337,6 +357,7 @@ pub fn refine_partitions(
         restrict_snapshot(snapshot, coverage)
     };
     let mut fold = RefineFold::new(query);
+    fold.set_obs(obs.clone());
     for partition in partitions {
         fold.push_partition(partition, &mut snapshot_at);
     }

@@ -3,12 +3,13 @@
 //! with the statistics the benchmark harness consumes.
 
 use crate::cuts::filter::{filter_simplified, simplify_database};
-use crate::cuts::refine::refine_partitions;
+use crate::cuts::refine::refine_partitions_obs;
 use crate::cuts::{CutsConfig, CutsVariant};
 use crate::engine::CmcEngine;
 use crate::metrics::{refinement_unit, DiscoveryStats, StageTimings};
 use crate::params::auto_delta;
 use crate::query::{normalize_convoys, Convoy, ConvoyQuery};
+use convoy_obs::{Obs, SpanId};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use trajectory::{TimeInterval, TrajectoryDatabase, TrajectorySource};
@@ -81,6 +82,7 @@ pub struct Discovery {
     method: Method,
     config: CutsConfig,
     cmc_engine: CmcEngine,
+    obs: Obs,
 }
 
 impl Discovery {
@@ -92,7 +94,19 @@ impl Discovery {
             method,
             config: CutsConfig::new(variant),
             cmc_engine: CmcEngine::default(),
+            obs: Obs::noop(),
         }
+    }
+
+    /// Attaches a metrics recorder: the run emits a `discover` root span
+    /// with one child span per stage (`discover.simplify` / `discover.filter`
+    /// / `discover.refine` for the CuTS family, the engine's span tree for
+    /// CMC) plus the `cmc.*` / `cluster.*` metrics of whatever fold executes.
+    /// The default is the no-op recorder.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Overrides the CuTS configuration (ignored for CMC).
@@ -159,10 +173,24 @@ impl Discovery {
     /// Executes the discovery and returns the normalised result set together
     /// with timings and statistics.
     pub fn run(&self, db: &TrajectoryDatabase, query: &ConvoyQuery) -> DiscoveryOutcome {
+        let root = self.obs.span_start("discover", SpanId::NONE);
+        let outcome = self.run_under(db, query, root);
+        self.obs.span_end(root);
+        outcome
+    }
+
+    fn run_under(
+        &self,
+        db: &TrajectoryDatabase,
+        query: &ConvoyQuery,
+        root: SpanId,
+    ) -> DiscoveryOutcome {
         match self.method {
             Method::Cmc => {
                 let started = Instant::now();
-                let (raw, fold) = self.cmc_engine.run_with_stats(db, query);
+                let (raw, fold) = self
+                    .cmc_engine
+                    .run_with_stats_obs(db, query, &self.obs, root);
                 let filter_time = started.elapsed();
                 let convoys = normalize_convoys(raw, query);
                 DiscoveryOutcome {
@@ -182,23 +210,29 @@ impl Discovery {
             Method::Cuts | Method::CutsPlus | Method::CutsStar => {
                 // Stage 1: simplification.
                 let delta = self.config.delta.unwrap_or_else(|| auto_delta(db, query.e));
+                let simplify_span = self.obs.span_start("discover.simplify", root);
                 let simplify_started = Instant::now();
                 let simplified = simplify_database(db, &self.config, delta);
                 let simplification = simplify_started.elapsed();
+                self.obs.span_end(simplify_span);
 
                 // Stage 2: filter (partitioned clustering of simplified
                 // sub-trajectories).
+                let filter_span = self.obs.span_start("discover.filter", root);
                 let filter_started = Instant::now();
                 let output = filter_simplified(&simplified, db, query, &self.config, delta);
                 let filter_time = filter_started.elapsed();
+                self.obs.span_end(filter_span);
 
                 // Stage 3: refinement — the coverage-restricted CmcState
                 // fold over the partition clusters (shared with the
                 // streaming pipeline; see `cuts::refine` for the exactness
                 // argument).
+                let refine_span = self.obs.span_start("discover.refine", root);
                 let refine_started = Instant::now();
-                let (raw, fold) = refine_partitions(db, query, &output.partitions);
+                let (raw, fold) = refine_partitions_obs(db, query, &output.partitions, &self.obs);
                 let refinement = refine_started.elapsed();
+                self.obs.span_end(refine_span);
 
                 let convoys = normalize_convoys(raw, query);
                 DiscoveryOutcome {

@@ -33,6 +33,7 @@
 
 use crate::candidate::CandidateConvoy;
 use crate::query::{Convoy, ConvoyQuery};
+use convoy_obs::{Obs, SpanId};
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::HashMap;
@@ -100,6 +101,13 @@ pub struct CmcState {
     dedup_chain: Vec<u32>,
     /// Per-tick "cluster extended some candidate" flags.
     assigned: Vec<bool>,
+    /// Recorder for the `cmc.*` fold metrics (no-op by default; one branch
+    /// per tick when disabled, so the hot-path contract holds either way).
+    obs: Obs,
+    /// Nanoseconds this state has spent density-clustering snapshots
+    /// (accumulated only while the recorder is live; the engines re-lay it
+    /// as the `cmc.cluster` stage span).
+    cluster_ns: u64,
 }
 
 /// Counters describing a [`CmcState`]'s life so far — the observability
@@ -164,7 +172,25 @@ impl CmcState {
             dedup_heads: HashMap::new(),
             dedup_chain: Vec::new(),
             assigned: Vec::new(),
+            obs: Obs::noop(),
+            cluster_ns: 0,
         }
+    }
+
+    /// Attaches a metrics recorder: per-tick `cmc.*` counters, gauges and
+    /// histograms, plus the `cluster.*` metrics of the internal
+    /// [`SnapshotClusterer`]. The default is the no-op recorder, which keeps
+    /// every instrumented path at a single branch.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.clusterer.set_obs(obs.clone());
+        self.obs = obs;
+    }
+
+    /// Nanoseconds spent density-clustering so far (0 unless a live recorder
+    /// is attached). The engines subtract this from their fold total to
+    /// split the `cmc.cluster` and `cmc.fold` stage spans.
+    pub fn cluster_time_ns(&self) -> u64 {
+        self.cluster_ns
     }
 
     /// Ingests the snapshot of one time point: density-clusters it and folds
@@ -179,7 +205,14 @@ impl CmcState {
         // Detach the clusterer so its borrowed output can be fed back into
         // `self` (a plain move of empty-capacity headers, no allocation).
         let mut clusterer = std::mem::take(&mut self.clusterer);
+        let live = self.obs.enabled();
+        let started_ns = if live { self.obs.now_ns() } else { 0 };
         let clusters = clusterer.cluster_into(snapshot, self.query.e, self.query.m);
+        if live {
+            self.cluster_ns = self
+                .cluster_ns
+                .saturating_add(self.obs.now_ns().saturating_sub(started_ns));
+        }
         self.ingest_clusters(snapshot.time, clusters);
         self.clusterer = clusterer;
     }
@@ -265,6 +298,19 @@ impl CmcState {
 
         std::mem::swap(&mut self.current, &mut self.next);
         self.peak_candidates = self.peak_candidates.max(self.current.len());
+
+        if self.obs.enabled() {
+            // All names are pre-registered after the first tick, so the
+            // steady state of a live registry allocates nothing here.
+            self.obs.counter_add("cmc.ticks_ingested", 1);
+            self.obs
+                .histogram_record("cmc.clusters_per_tick", clusters.len() as u64);
+            self.obs
+                .histogram_record("cmc.candidates_per_tick", self.current.len() as u64);
+            let open = i64::try_from(self.current.len()).unwrap_or(i64::MAX);
+            self.obs.gauge_set("cmc.candidates_open", open);
+            self.obs.gauge_max("cmc.peak_candidates", open);
+        }
     }
 
     /// Closes every open candidate (what an empty tick does), reporting the
@@ -563,27 +609,99 @@ impl CmcEngine {
         query: &ConvoyQuery,
         window: TimeInterval,
     ) -> (Vec<Convoy>, CmcStats) {
+        self.run_windowed_with_stats_obs(db, query, window, &Obs::noop(), SpanId::NONE)
+    }
+
+    /// Like [`CmcEngine::run_windowed_with_stats`], recording into `obs`:
+    /// one root span per engine (child of `parent`), `cmc.sweep` /
+    /// `cmc.cluster` / `cmc.fold` stage spans beneath it (accumulated totals
+    /// for the sequential engines, real per-partition / per-shard worker
+    /// spans for the parallel drivers), and the per-tick `cmc.*` metrics of
+    /// the fold. With the no-op recorder this is exactly
+    /// [`CmcEngine::run_windowed_with_stats`] — the result is identical
+    /// either way.
+    pub fn run_windowed_with_stats_obs(
+        &self,
+        db: &TrajectoryDatabase,
+        query: &ConvoyQuery,
+        window: TimeInterval,
+        obs: &Obs,
+        parent: SpanId,
+    ) -> (Vec<Convoy>, CmcStats) {
         match *self {
             CmcEngine::PerTick => {
+                let engine_span = obs.span_start("cmc.per-tick", parent);
+                let run_start_ns = obs.now_ns();
+                let live = obs.enabled();
                 let mut state = CmcState::new(query);
+                state.set_obs(obs.clone());
+                let mut sweep_ns = 0u64;
+                let mut ingest_ns = 0u64;
                 for t in window.iter() {
-                    state.ingest_snapshot(&db.snapshot(t, SnapshotPolicy::Interpolate));
+                    let sweep_from_ns = if live { obs.now_ns() } else { 0 };
+                    let snapshot = db.snapshot(t, SnapshotPolicy::Interpolate);
+                    let ingest_from_ns = if live { obs.now_ns() } else { 0 };
+                    state.ingest_snapshot(&snapshot);
+                    if live {
+                        sweep_ns =
+                            sweep_ns.saturating_add(ingest_from_ns.saturating_sub(sweep_from_ns));
+                        ingest_ns =
+                            ingest_ns.saturating_add(obs.now_ns().saturating_sub(ingest_from_ns));
+                    }
                 }
-                state.finish_with_stats()
+                let cluster_ns = state.cluster_time_ns();
+                let out = state.finish_with_stats();
+                emit_stage_spans(
+                    obs,
+                    engine_span,
+                    run_start_ns,
+                    sweep_ns,
+                    cluster_ns,
+                    ingest_ns,
+                );
+                obs.span_end(engine_span);
+                out
             }
             CmcEngine::Swept => {
+                let engine_span = obs.span_start("cmc.swept", parent);
+                let run_start_ns = obs.now_ns();
+                let live = obs.enabled();
                 let mut state = CmcState::new(query);
-                for snapshot in SnapshotSweep::new(db, window, SnapshotPolicy::Interpolate) {
+                state.set_obs(obs.clone());
+                let mut sweep_ns = 0u64;
+                let mut ingest_ns = 0u64;
+                let mut sweep = SnapshotSweep::new(db, window, SnapshotPolicy::Interpolate);
+                loop {
+                    let sweep_from_ns = if live { obs.now_ns() } else { 0 };
+                    let Some(snapshot) = sweep.next() else { break };
+                    let ingest_from_ns = if live { obs.now_ns() } else { 0 };
                     state.ingest_snapshot(&snapshot);
+                    if live {
+                        sweep_ns =
+                            sweep_ns.saturating_add(ingest_from_ns.saturating_sub(sweep_from_ns));
+                        ingest_ns =
+                            ingest_ns.saturating_add(obs.now_ns().saturating_sub(ingest_from_ns));
+                    }
                 }
-                state.finish_with_stats()
+                let cluster_ns = state.cluster_time_ns();
+                let out = state.finish_with_stats();
+                emit_stage_spans(
+                    obs,
+                    engine_span,
+                    run_start_ns,
+                    sweep_ns,
+                    cluster_ns,
+                    ingest_ns,
+                );
+                obs.span_end(engine_span);
+                out
             }
             CmcEngine::Parallel { threads } => {
-                cmc_parallel_windowed_with_stats(db, query, window, threads)
+                cmc_parallel_windowed_with_stats_obs(db, query, window, threads, obs, parent)
             }
-            CmcEngine::Sharded { shards } => {
-                crate::shard::cmc_sharded_windowed_with_stats(db, query, window, shards)
-            }
+            CmcEngine::Sharded { shards } => crate::shard::cmc_sharded_windowed_with_stats_obs(
+                db, query, window, shards, obs, parent,
+            ),
         }
     }
 
@@ -598,10 +716,51 @@ impl CmcEngine {
         db: &TrajectoryDatabase,
         query: &ConvoyQuery,
     ) -> (Vec<Convoy>, CmcStats) {
+        self.run_with_stats_obs(db, query, &Obs::noop(), SpanId::NONE)
+    }
+
+    /// Whole-domain variant of [`CmcEngine::run_windowed_with_stats_obs`].
+    pub fn run_with_stats_obs(
+        &self,
+        db: &TrajectoryDatabase,
+        query: &ConvoyQuery,
+        obs: &Obs,
+        parent: SpanId,
+    ) -> (Vec<Convoy>, CmcStats) {
         match db.time_domain() {
-            Some(window) => self.run_windowed_with_stats(db, query, window),
+            Some(window) => self.run_windowed_with_stats_obs(db, query, window, obs, parent),
             None => (Vec::new(), CmcStats::default()),
         }
+    }
+}
+
+/// Re-lays the accumulated sweep → cluster → fold totals of a sequential
+/// engine run as three synthetic child spans under `engine_span`. The three
+/// stages interleave per tick at runtime, so the spans carry stage *totals*
+/// laid end to end from the run's start — the proportions are exact, the
+/// wall-clock positions are not (see the crate docs of `convoy_obs`).
+/// `ingest_ns` is the whole fold-side total; the clustering share is split
+/// out of it.
+fn emit_stage_spans(
+    obs: &Obs,
+    engine_span: SpanId,
+    run_start_ns: u64,
+    sweep_ns: u64,
+    cluster_ns: u64,
+    ingest_ns: u64,
+) {
+    if !obs.enabled() {
+        return;
+    }
+    let fold_ns = ingest_ns.saturating_sub(cluster_ns);
+    let mut cursor_ns = run_start_ns;
+    for (name, dur_ns) in [
+        ("cmc.sweep", sweep_ns),
+        ("cmc.cluster", cluster_ns),
+        ("cmc.fold", fold_ns),
+    ] {
+        obs.span_at(name, engine_span, cursor_ns, dur_ns);
+        cursor_ns = cursor_ns.saturating_add(dur_ns);
     }
 }
 
@@ -655,30 +814,52 @@ pub fn cmc_parallel_windowed_with_stats(
     window: TimeInterval,
     threads: usize,
 ) -> (Vec<Convoy>, CmcStats) {
+    cmc_parallel_windowed_with_stats_obs(db, query, window, threads, &Obs::noop(), SpanId::NONE)
+}
+
+/// Like [`cmc_parallel_windowed_with_stats`], recording into `obs`: a
+/// `cmc.parallel` root span, one *real* `cmc.partition` span per worker
+/// thread (each worker density-clusters with its own recorder-attached
+/// scratch, so `cluster.*` metrics accrue from all workers), and a real
+/// `cmc.fold` span over the sequential stitch.
+pub fn cmc_parallel_windowed_with_stats_obs(
+    db: &TrajectoryDatabase,
+    query: &ConvoyQuery,
+    window: TimeInterval,
+    threads: usize,
+    obs: &Obs,
+    parent: SpanId,
+) -> (Vec<Convoy>, CmcStats) {
     let partitions = split_window(window, resolve_threads(threads));
     if partitions.len() <= 1 {
-        return CmcEngine::Swept.run_windowed_with_stats(db, query, window);
+        return CmcEngine::Swept.run_windowed_with_stats_obs(db, query, window, obs, parent);
     }
+    let engine_span = obs.span_start("cmc.parallel", parent);
 
     let clustered: Vec<Vec<(TimePoint, Vec<Cluster>)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = partitions
             .iter()
             .map(|&partition| {
+                let obs = obs.clone();
                 scope.spawn(move || {
+                    let partition_span = obs.span_start("cmc.partition", engine_span);
                     // One clustering scratch per worker, reused across every
                     // tick of its partition; only the collected cluster
                     // lists themselves are materialized for the fold.
-                    let mut clusterer = SnapshotClusterer::new();
-                    SnapshotSweep::new(db, partition, SnapshotPolicy::Interpolate)
-                        .map(|snapshot| {
-                            let clusters = if snapshot.len() < query.m {
-                                Vec::new()
-                            } else {
-                                clusterer.cluster_into(&snapshot, query.e, query.m).to_vec()
-                            };
-                            (snapshot.time, clusters)
-                        })
-                        .collect()
+                    let mut clusterer = SnapshotClusterer::with_obs(obs.clone());
+                    let out: Vec<(TimePoint, Vec<Cluster>)> =
+                        SnapshotSweep::new(db, partition, SnapshotPolicy::Interpolate)
+                            .map(|snapshot| {
+                                let clusters = if snapshot.len() < query.m {
+                                    Vec::new()
+                                } else {
+                                    clusterer.cluster_into(&snapshot, query.e, query.m).to_vec()
+                                };
+                                (snapshot.time, clusters)
+                            })
+                            .collect();
+                    obs.span_end(partition_span);
+                    out
                 })
             })
             .collect();
@@ -692,13 +873,18 @@ pub fn cmc_parallel_windowed_with_stats(
     // Stitch: one state machine consumes the partitions in time order, so a
     // candidate chain open at a partition boundary keeps extending into the
     // next partition's clusters.
+    let fold_span = obs.span_start("cmc.fold", engine_span);
     let mut state = CmcState::new(query);
+    state.set_obs(obs.clone());
     for partition in &clustered {
         for (t, clusters) in partition {
             state.ingest_clusters(*t, clusters);
         }
     }
-    state.finish_with_stats()
+    let out = state.finish_with_stats();
+    obs.span_end(fold_span);
+    obs.span_end(engine_span);
+    out
 }
 
 /// Runs [`cmc_parallel_windowed`] over the whole time domain of `db`.

@@ -78,7 +78,10 @@ pub use engine::{
     cmc_parallel, cmc_parallel_windowed, CmcEngine, CmcState, CmcStateSnapshot, CmcStats,
 };
 pub use mc2::{mc2, Mc2Config};
-pub use metrics::{refinement_unit, DiscoveryStats, StageTimings};
+pub use metrics::{
+    duration_ns, fold_stats_from_snapshot, publish_discovery, publish_fold_stats,
+    publish_stage_timings, refinement_unit, DiscoveryStats, StageTimings,
+};
 pub use params::{auto_delta, auto_lambda};
 pub use query::{compare_result_sets, normalize_convoys, AccuracyReport, Convoy, ConvoyQuery};
 pub use shard::{cmc_sharded, cmc_sharded_windowed, resolved_shard_count, MAX_SHARDS};

@@ -2,7 +2,9 @@
 //! *refinement unit* cost model used by the paper's Figures 16 and 17.
 
 use crate::candidate::CandidateConvoy;
+use crate::discovery::DiscoveryOutcome;
 use crate::engine::CmcStats;
+use convoy_obs::{MetricsSnapshot, Recorder, Registry};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -21,9 +23,13 @@ pub struct StageTimings {
 }
 
 impl StageTimings {
-    /// Total elapsed time across the three stages.
+    /// Total elapsed time across the three stages. Saturating: three
+    /// near-`Duration::MAX` stages clamp instead of panicking (deserialized
+    /// timings are attacker-shaped bytes, not trusted clock readings).
     pub fn total(&self) -> Duration {
-        self.simplification + self.filter + self.refinement
+        self.simplification
+            .saturating_add(self.filter)
+            .saturating_add(self.refinement)
     }
 }
 
@@ -65,6 +71,71 @@ pub fn refinement_unit(candidates: &[CandidateConvoy]) -> f64 {
             n * n * c.lifetime() as f64
         })
         .sum()
+}
+
+/// A [`Duration`] as saturating whole nanoseconds (the unit every `*_ns`
+/// metric in the registry uses).
+pub fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Publishes a [`CmcStats`] into `registry` under the canonical `cmc.*`
+/// names — the typed-view half of the `--stats` rendering path.
+///
+/// Store semantics, not add: the struct is the authoritative lifetime view
+/// (it survives checkpoints, which live per-tick counters do not), so it
+/// *overwrites* whatever the live recorder accumulated. On an uninterrupted
+/// run the two agree and the overwrite is idempotent.
+pub fn publish_fold_stats(registry: &Registry, fold: &CmcStats) {
+    registry.counter_store("cmc.ticks_ingested", fold.ticks_ingested);
+    registry.counter_store("cmc.gap_closures", fold.gap_closures);
+    registry.counter_store("cmc.convoys_closed", fold.convoys_closed);
+    registry.gauge_set(
+        "cmc.peak_candidates",
+        i64::try_from(fold.peak_candidates).unwrap_or(i64::MAX),
+    );
+}
+
+/// Reads the `cmc.*` fold counters back out of a snapshot — the inverse of
+/// [`publish_fold_stats`], used by tests and by consumers that want the
+/// typed struct rather than the raw name/value map.
+pub fn fold_stats_from_snapshot(snapshot: &MetricsSnapshot) -> CmcStats {
+    CmcStats {
+        peak_candidates: usize::try_from(snapshot.gauge("cmc.peak_candidates")).unwrap_or(0),
+        ticks_ingested: snapshot.counter("cmc.ticks_ingested"),
+        gap_closures: snapshot.counter("cmc.gap_closures"),
+        convoys_closed: snapshot.counter("cmc.convoys_closed"),
+    }
+}
+
+/// Publishes a [`DiscoveryOutcome`]'s *deterministic* statistics (fold
+/// counters, candidate counts, parameters) under the `cmc.*` / `discover.*`
+/// names. Wall-clock timings are deliberately not included — publish those
+/// separately with [`publish_stage_timings`] into recorders whose output may
+/// vary run to run (the metrics-JSON/trace export), never into the registry
+/// that renders `--stats` (whose text must be byte-stable for equivalence
+/// checks).
+pub fn publish_discovery(registry: &Registry, outcome: &DiscoveryOutcome) {
+    publish_fold_stats(registry, &outcome.stats.fold);
+    registry.counter_store("discover.candidates", outcome.stats.num_candidates as u64);
+    registry.counter_store("discover.convoys", outcome.stats.num_convoys as u64);
+    // The paper's Fig. 17 cost model is a f64; whole units are enough for
+    // the counter view (saturating `as` keeps absurd models finite).
+    registry.counter_store(
+        "discover.refinement_units",
+        outcome.stats.refinement_units as u64,
+    );
+    registry.counter_store("discover.lambda", outcome.stats.lambda as u64);
+}
+
+/// Publishes the wall-clock stage timings (Figure 13) as `discover.*_ns`
+/// counters. Non-deterministic by nature; see [`publish_discovery`] for why
+/// this is a separate call.
+pub fn publish_stage_timings(registry: &Registry, timings: &StageTimings) {
+    registry.counter_store("discover.simplify_ns", duration_ns(timings.simplification));
+    registry.counter_store("discover.filter_ns", duration_ns(timings.filter));
+    registry.counter_store("discover.refine_ns", duration_ns(timings.refinement));
+    registry.counter_store("discover.total_ns", duration_ns(timings.total()));
 }
 
 #[cfg(test)]

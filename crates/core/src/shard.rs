@@ -32,6 +32,7 @@
 
 use crate::engine::{CmcEngine, CmcState, MAX_PARALLEL_THREADS};
 use crate::query::{Convoy, ConvoyQuery};
+use convoy_obs::{Obs, SpanId};
 use traj_cluster::shard::{
     merge_shard_clusters, shard_clusters_with, ShardClusters, ShardGrid, ShardScratch,
 };
@@ -96,31 +97,52 @@ pub fn cmc_sharded_windowed_with_stats(
     window: TimeInterval,
     shards: usize,
 ) -> (Vec<Convoy>, crate::engine::CmcStats) {
+    cmc_sharded_windowed_with_stats_obs(db, query, window, shards, &Obs::noop(), SpanId::NONE)
+}
+
+/// Like [`cmc_sharded_windowed_with_stats`], recording into `obs`: a
+/// `cmc.sharded` root span with a real `cmc.sweep` span over the shared
+/// snapshot extraction, one real `cmc.shard` span per worker thread (each
+/// worker covers the shards assigned to it round-robin), and a real
+/// `cmc.fold` span over the merge-and-stitch pass.
+pub fn cmc_sharded_windowed_with_stats_obs(
+    db: &TrajectoryDatabase,
+    query: &ConvoyQuery,
+    window: TimeInterval,
+    shards: usize,
+    obs: &Obs,
+    parent: SpanId,
+) -> (Vec<Convoy>, crate::engine::CmcStats) {
     let shard_count = resolved_shard_count(shards);
     let bounds = match world_bounds(db) {
         Some(bounds) if shard_count > 1 => bounds,
-        _ => return CmcEngine::Swept.run_windowed_with_stats(db, query, window),
+        _ => return CmcEngine::Swept.run_windowed_with_stats_obs(db, query, window, obs, parent),
     };
     let grid = ShardGrid::new(bounds, shard_count);
     let shard_count = grid.num_shards();
     let threads = shard_count.min(MAX_PARALLEL_THREADS);
+    let engine_span = obs.span_start("cmc.sharded", parent);
 
     // One sweep for everyone: extraction and interpolation cost is paid
     // once, not once per worker.
+    let sweep_span = obs.span_start("cmc.sweep", engine_span);
     let snapshots: Vec<Snapshot> =
         SnapshotSweep::new(db, window, SnapshotPolicy::Interpolate).collect();
+    obs.span_end(sweep_span);
 
     let per_worker: Vec<Vec<Vec<ShardClusters>>> = std::thread::scope(|scope| {
         let grid = &grid;
         let snapshots = &snapshots;
         let handles: Vec<_> = (0..threads)
             .map(|w| {
+                let obs = obs.clone();
                 scope.spawn(move || {
+                    let shard_span = obs.span_start("cmc.shard", engine_span);
                     let mine: Vec<usize> = (w..shard_count).step_by(threads).collect();
                     // One shard-clustering scratch per worker, reused across
                     // every tick and every shard the worker owns.
                     let mut scratch = ShardScratch::new();
-                    snapshots
+                    let out: Vec<Vec<ShardClusters>> = snapshots
                         .iter()
                         .map(|snapshot| {
                             // Mirror the sequential < m guard: such a tick
@@ -142,7 +164,9 @@ pub fn cmc_sharded_windowed_with_stats(
                                     .collect()
                             }
                         })
-                        .collect()
+                        .collect();
+                    obs.span_end(shard_span);
+                    out
                 })
             })
             .collect();
@@ -156,12 +180,17 @@ pub fn cmc_sharded_windowed_with_stats(
     // Coordinator: merge every tick's shard partials into the exact global
     // clustering and fold in time order, stitching candidate chains across
     // both shard edges (via the merge) and tick boundaries (via the state).
+    let fold_span = obs.span_start("cmc.fold", engine_span);
     let mut state = CmcState::new(query);
+    state.set_obs(obs.clone());
     for (i, snapshot) in snapshots.iter().enumerate() {
         let clusters = merge_shard_clusters(per_worker.iter().flat_map(|worker| worker[i].iter()));
         state.ingest_clusters(snapshot.time, &clusters);
     }
-    state.finish_with_stats()
+    let out = state.finish_with_stats();
+    obs.span_end(fold_span);
+    obs.span_end(engine_span);
+    out
 }
 
 /// Runs [`cmc_sharded_windowed`] over the whole time domain of `db`.

@@ -304,6 +304,17 @@ pub struct ReadStats {
     pub records_read: u64,
 }
 
+impl ReadStats {
+    /// On-disk bytes this load actually read and verified: the headers,
+    /// payloads and CRC trailers of the touched blocks (pruned blocks are
+    /// seeked over, their bytes never enter memory).
+    pub fn bytes_scanned(&self) -> u64 {
+        (self.blocks_read as u64)
+            .saturating_mul(BLOCK_HEADER_LEN.saturating_add(BLOCK_TRAILER_LEN))
+            .saturating_add(self.records_read.saturating_mul(RECORD_LEN))
+    }
+}
+
 /// Bounded decoder over one block's bytes — the checkpoint `Dec` idiom:
 /// every read is bounds-checked, corrupt input surfaces as an error, never
 /// a panic.

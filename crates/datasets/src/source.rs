@@ -10,6 +10,7 @@
 
 use crate::container::{ContainerError, ContainerReader};
 use crate::io::read_csv_counting;
+use convoy_obs::{Obs, SpanId};
 use std::fs::File;
 use std::io::Read;
 use std::path::{Path, PathBuf};
@@ -95,11 +96,32 @@ pub fn open_source<P: AsRef<Path>>(path: P) -> Result<Box<dyn TrajectorySource>>
     })
 }
 
+/// Records one load's `scan.*` metrics: decode latency, block economy,
+/// record and byte throughput. Counters *add* — a session that loads twice
+/// (say a full load then a windowed one) reports the combined I/O, while the
+/// deterministic view publish ([`trajectory::publish_scan_stats`])
+/// overwrites with the last load's authoritative numbers before export.
+fn record_scan(obs: &Obs, started_ns: u64, stats: ScanStats, bytes_scanned: u64) {
+    if !obs.enabled() {
+        return;
+    }
+    obs.histogram_record("scan.decode_ns", obs.now_ns().saturating_sub(started_ns));
+    obs.counter_add("scan.loads", 1);
+    obs.counter_add("scan.blocks_read", stats.blocks_read as u64);
+    obs.counter_add(
+        "scan.blocks_pruned",
+        stats.blocks_total.saturating_sub(stats.blocks_read) as u64,
+    );
+    obs.counter_add("scan.records_read", stats.records_read);
+    obs.counter_add("scan.bytes_scanned", bytes_scanned);
+}
+
 /// The CSV backend: a flat, unindexed format, so every load parses the whole
 /// file (one "block") and windowed loads restrict afterwards.
 pub struct CsvSource {
     path: PathBuf,
     stats: ScanStats,
+    obs: Obs,
 }
 
 impl CsvSource {
@@ -108,19 +130,25 @@ impl CsvSource {
         CsvSource {
             path: path.as_ref().to_path_buf(),
             stats: ScanStats::default(),
+            obs: Obs::noop(),
         }
     }
 }
 
 impl TrajectorySource for CsvSource {
     fn load(&mut self) -> Result<TrajectoryDatabase> {
+        let _span = self.obs.span_guard("scan.load", SpanId::NONE);
+        let started_ns = self.obs.now_ns();
         let file = File::open(&self.path).map_err(|e| io_error(&self.path, &e))?;
+        // A flat format scans the whole file every time.
+        let bytes_scanned = file.metadata().map_or(0, |m| m.len());
         let (db, records) = read_csv_counting(file)?;
         self.stats = ScanStats {
             blocks_total: 1,
             blocks_read: 1,
             records_read: records,
         };
+        record_scan(&self.obs, started_ns, self.stats, bytes_scanned);
         Ok(db)
     }
 
@@ -131,6 +159,10 @@ impl TrajectorySource for CsvSource {
     fn format_name(&self) -> &'static str {
         "csv"
     }
+
+    fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
 }
 
 /// The `.convoy` backend: block-indexed, so windowed loads read only the
@@ -140,6 +172,7 @@ pub struct ContainerSource {
     path: PathBuf,
     reader: ContainerReader<std::io::BufReader<File>>,
     stats: ScanStats,
+    obs: Obs,
 }
 
 impl ContainerSource {
@@ -152,34 +185,43 @@ impl ContainerSource {
             path: path.to_path_buf(),
             reader,
             stats: ScanStats::default(),
+            obs: Obs::noop(),
         })
     }
 
-    fn record_stats(&mut self, blocks_read: usize, records_read: u64) {
+    fn record_stats(&mut self, stats: crate::container::ReadStats, started_ns: u64) {
         self.stats = ScanStats {
             blocks_total: self.reader.blocks().len(),
-            blocks_read,
-            records_read,
+            blocks_read: stats.blocks_read,
+            records_read: stats.records_read,
         };
+        record_scan(&self.obs, started_ns, self.stats, stats.bytes_scanned());
     }
 }
 
 impl TrajectorySource for ContainerSource {
     fn load(&mut self) -> Result<TrajectoryDatabase> {
+        // Guard holds its own handle: `record_stats` needs `&mut self`.
+        let obs = self.obs.clone();
+        let _span = obs.span_guard("scan.load", SpanId::NONE);
+        let started_ns = obs.now_ns();
         let (db, stats) = self
             .reader
             .load()
             .map_err(|e| container_error(&self.path, e))?;
-        self.record_stats(stats.blocks_read, stats.records_read);
+        self.record_stats(stats, started_ns);
         Ok(db)
     }
 
     fn load_window(&mut self, window: TimeInterval) -> Result<TrajectoryDatabase> {
+        let obs = self.obs.clone();
+        let _span = obs.span_guard("scan.load", SpanId::NONE);
+        let started_ns = obs.now_ns();
         let (db, stats) = self
             .reader
             .load_window(window)
             .map_err(|e| container_error(&self.path, e))?;
-        self.record_stats(stats.blocks_read, stats.records_read);
+        self.record_stats(stats, started_ns);
         Ok(db)
     }
 
@@ -189,6 +231,10 @@ impl TrajectorySource for ContainerSource {
 
     fn format_name(&self) -> &'static str {
         "convoy"
+    }
+
+    fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 }
 

@@ -73,6 +73,7 @@ fn rules_for(rel: &str) -> Vec<fn(&FileAnalysis) -> Vec<RawFinding>> {
         "crates/core/src/",
         "crates/stream/src/",
         "crates/trajectory/src/",
+        "crates/obs/src/",
     ]) {
         active.push(rules::checked_time_arithmetic);
     }

@@ -6,7 +6,7 @@
 //!
 //! | rule | guards | scope |
 //! |---|---|---|
-//! | `checked-time-arithmetic` | bare `+`/`-`/`*`/`+=`/`-=`/`*=` on tick-named values | `core`, `stream`, `trajectory` |
+//! | `checked-time-arithmetic` | bare `+`/`-`/`*`/`+=`/`-=`/`*=` on tick- or nanosecond-named values | `core`, `stream`, `trajectory`, `obs` |
 //! | `no-panic-decode` | unwrap/expect/panic!/indexing on untrusted bytes | checkpoint decode + CSV parse |
 //! | `no-alloc-hot-path` | allocation constructors in marked hot regions | whole workspace |
 //! | `no-unwrap-in-lib` | `.unwrap()`/`.expect()` outside tests | library crates |
@@ -47,7 +47,9 @@ const UNARY_CONTEXT_KEYWORDS: &[&str] = &[
 /// Exact identifiers treated as time-valued.
 const TIME_EXACT: &[&str] = &["t", "t0", "t1", "dt", "ts", "start", "end"];
 
-/// Substrings that mark an identifier as time-valued.
+/// Substrings that mark an identifier as time-valued. The `nanos`/
+/// `duration`/`elapsed` entries cover the observability layer's wall-clock
+/// values, which saturate rather than wrap for the same reason ticks do.
 const TIME_SUBSTRINGS: &[&str] = &[
     "tick",
     "time",
@@ -56,6 +58,9 @@ const TIME_SUBSTRINGS: &[&str] = &[
     "epoch",
     "horizon",
     "deadline",
+    "nanos",
+    "duration",
+    "elapsed",
 ];
 
 fn is_time_name(name: &str) -> bool {
@@ -63,6 +68,7 @@ fn is_time_name(name: &str) -> bool {
     TIME_EXACT.contains(&lower.as_str())
         || lower.ends_with("_t")
         || lower.ends_with("_ts")
+        || lower.ends_with("_ns")
         || TIME_SUBSTRINGS.iter().any(|s| lower.contains(s))
 }
 

@@ -97,6 +97,32 @@ fn time_arith_accepts_checked_compound_updates_and_non_time_targets() {
 }
 
 #[test]
+fn time_arith_flags_nanosecond_names_and_runs_on_obs_sources() {
+    // The observability layer's wall-clock values: `_ns` suffixes and
+    // `nanos`/`duration`/`elapsed` substrings are time-valued, and the rule
+    // is active under crates/obs/src/.
+    let src = concat!(
+        "pub fn f(started_ns: u64, now_ns: u64) -> u64 {\n",
+        "    let elapsed = now_ns - started_ns;\n",
+        "    let total_nanos = elapsed * 2;\n",
+        "    let duration_sum = total_nanos + 1;\n",
+        "    duration_sum\n",
+        "}\n",
+    );
+    assert_eq!(
+        lines_of("crates/obs/src/registry.rs", src, "checked-time-arithmetic"),
+        vec![2, 3, 4]
+    );
+    // Saturating forms of the same names are compliant.
+    let ok = concat!(
+        "pub fn f(started_ns: u64, now_ns: u64) -> u64 {\n",
+        "    now_ns.saturating_sub(started_ns)\n",
+        "}\n",
+    );
+    assert!(hits("crates/obs/src/registry.rs", ok).is_empty());
+}
+
+#[test]
 fn time_arith_sees_through_field_and_method_chains() {
     let src = "pub fn f(w: W) -> i64 {\n    w.interval.end - w.interval.start\n}\n";
     assert_eq!(

@@ -1,0 +1,70 @@
+//! `obs-validate` — CI helper that checks observability artifacts offline.
+//!
+//! ```text
+//! obs-validate --schema SCHEMA.json FILE.json   # JSON Schema subset check
+//! obs-validate --trace TRACE.json               # trace_event well-formedness
+//! ```
+//!
+//! Exit code 0 when the artifact is valid; 1 with one violation per stderr
+//! line otherwise; 2 for usage or I/O errors.
+
+use convoy_obs::json;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: obs-validate --schema SCHEMA.json FILE.json | --trace TRACE.json";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let outcome = match args.first().map(String::as_str) {
+        Some("--schema") if args.len() == 3 => validate_schema(&args[1], &args[2]),
+        Some("--trace") if args.len() == 2 => validate_trace(&args[1]),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match outcome {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(Failure::Invalid(errors)) => {
+            for e in errors {
+                eprintln!("{e}");
+            }
+            ExitCode::FAILURE
+        }
+        Err(Failure::Io(message)) => {
+            eprintln!("obs-validate: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+enum Failure {
+    Invalid(Vec<String>),
+    Io(String),
+}
+
+fn load(path: &str) -> Result<json::Value, Failure> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| Failure::Io(format!("cannot read {path}: {e}")))?;
+    json::parse(&text).map_err(|e| Failure::Invalid(vec![format!("{path}: {e}")]))
+}
+
+fn validate_schema(schema_path: &str, file_path: &str) -> Result<String, Failure> {
+    let schema = load(schema_path)?;
+    let value = load(file_path)?;
+    json::validate(&schema, &value)
+        .map_err(|errors| {
+            Failure::Invalid(errors.iter().map(|e| format!("{file_path}: {e}")).collect())
+        })
+        .map(|()| format!("{file_path}: valid against {schema_path}"))
+}
+
+fn validate_trace(path: &str) -> Result<String, Failure> {
+    let doc = load(path)?;
+    json::validate_trace(&doc)
+        .map_err(|errors| Failure::Invalid(errors.iter().map(|e| format!("{path}: {e}")).collect()))
+        .map(|events| format!("{path}: well-formed trace_event JSON, {events} event(s)"))
+}

@@ -1,0 +1,120 @@
+//! Fixed-bucket log-scale histogram math.
+//!
+//! Values are `u64`; bucket `0` holds exactly the value `0`, bucket `i ≥ 1`
+//! holds the half-open power-of-two range `[2^(i-1), 2^i)`. With 64 one-bit
+//! positions plus the zero bucket that is [`BUCKET_COUNT`] = 65 buckets —
+//! enough to cover nanosecond latencies from 1 ns to ~584 years and counts
+//! from 1 to `u64::MAX` with ≤ 2× relative resolution, in a fixed-size
+//! array that never allocates on record.
+
+/// Number of buckets: the zero bucket plus one per bit of `u64`.
+pub const BUCKET_COUNT: usize = 65;
+
+/// The bucket index for `value`: 0 for 0, else `64 - leading_zeros`, i.e.
+/// one plus the position of the highest set bit.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Smallest value that lands in bucket `index` (0 for the zero bucket,
+/// `2^(index-1)` otherwise). Saturates for out-of-range indexes.
+#[inline]
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        i if i <= 64 => 1u64 << (i - 1),
+        _ => u64::MAX,
+    }
+}
+
+/// Point-in-time view of one histogram: totals plus the non-empty buckets as
+/// `(lower bound, count)` pairs in ascending bound order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of all observations (saturating).
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets: `(bucket lower bound, observations in bucket)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Bucket-wise difference `self - earlier` for monotone histograms.
+    /// `min`/`max` remain lifetime extremes (they are not reconstructible
+    /// for the interval), which the exporters document.
+    pub fn diff(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for &(bound, count) in &self.buckets {
+            let before = earlier
+                .buckets
+                .iter()
+                .find(|(b, _)| *b == bound)
+                .map(|(_, c)| *c)
+                .unwrap_or(0);
+            let delta = count.saturating_sub(before);
+            if delta > 0 {
+                buckets.push((bound, delta));
+            }
+        }
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            min: self.min,
+            max: self.max,
+            buckets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_has_its_own_bucket() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_lower_bound(0), 0);
+    }
+
+    #[test]
+    fn powers_of_two_open_their_bucket() {
+        for bit in 0..64u32 {
+            let v = 1u64 << bit;
+            let idx = bucket_index(v);
+            assert_eq!(idx, bit as usize + 1);
+            assert_eq!(bucket_lower_bound(idx), v);
+        }
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_bracket_their_values() {
+        for v in [1u64, 2, 3, 4, 5, 7, 8, 9, 1023, 1024, 1025, u64::MAX] {
+            let idx = bucket_index(v);
+            assert!(bucket_lower_bound(idx) <= v);
+            if idx < 64 {
+                assert!(v < bucket_lower_bound(idx + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(HistogramSnapshot::default().mean(), 0.0);
+    }
+}

@@ -1,0 +1,587 @@
+//! Minimal JSON parser and schema-subset validator.
+//!
+//! The build environment is offline, so the CI `observability` job cannot
+//! pull a JSON Schema implementation; this module implements just enough —
+//! a strict recursive-descent JSON parser and a validator for the schema
+//! subset `schemas/metrics-v1.schema.json` uses (`type`, `required`,
+//! `properties`, `additionalProperties`, `items`, `minItems`, `maxItems`,
+//! `minimum`, `const`) — for the `obs-validate` binary and the exporter
+//! tests. Parsing never panics; malformed input surfaces as [`ParseError`].
+
+/// A parsed JSON value. Object members keep document order (duplicate keys
+/// are rejected at parse time).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in document order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on objects (`None` for other variants).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element slice, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The JSON type name used in validation messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// A parse failure: byte offset and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "json parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+const MAX_DEPTH: usize = 64;
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+pub fn parse(src: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: src.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, byte: u8) -> bool {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_literal(&mut self, literal: &str, value: Value) -> Result<Value, ParseError> {
+        let end = self.pos.saturating_add(literal.len());
+        if self.bytes.get(self.pos..end) == Some(literal.as_bytes()) {
+            self.pos = end;
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.expect_literal("true", Value::Bool(true)),
+            Some(b'f') => self.expect_literal("false", Value::Bool(false)),
+            Some(b'n') => self.expect_literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.pos += 1; // consume '{'
+        let mut members: Vec<(String, Value)> = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected object key"));
+            }
+            let key = self.string()?;
+            if members.iter().any(|(k, _)| *k == key) {
+                return Err(self.err("duplicate object key"));
+            }
+            self.skip_ws();
+            if !self.eat(b':') {
+                return Err(self.err("expected ':' after object key"));
+            }
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            if self.eat(b'}') {
+                return Ok(Value::Object(members));
+            }
+            return Err(self.err("expected ',' or '}' in object"));
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.pos += 1; // consume '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            if self.eat(b']') {
+                return Ok(Value::Array(items));
+            }
+            return Err(self.err("expected ',' or ']' in array"));
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.pos += 1; // consume '"'
+        let mut out = String::new();
+        loop {
+            let Some(byte) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match byte {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(escape) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                b if b < 0x20 => return Err(self.err("control character in string")),
+                _ => {
+                    // Re-decode the UTF-8 sequence starting at byte; the
+                    // input is a &str so sequences are always valid.
+                    let start = self.pos.saturating_sub(1);
+                    let len = utf8_len(byte);
+                    let end = start.saturating_add(len);
+                    let Some(slice) = self.bytes.get(start..end) else {
+                        return Err(self.err("truncated utf-8 sequence"));
+                    };
+                    let Ok(s) = std::str::from_utf8(slice) else {
+                        return Err(self.err("invalid utf-8 sequence"));
+                    };
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, ParseError> {
+        let unit = self.hex4()?;
+        // Surrogate pair handling: a high surrogate must be followed by
+        // `\u` and a low surrogate.
+        if (0xD800..=0xDBFF).contains(&unit) {
+            if self.eat(b'\\') && self.eat(b'u') {
+                let low = self.hex4()?;
+                if (0xDC00..=0xDFFF).contains(&low) {
+                    let high_bits = (unit as u32).saturating_sub(0xD800);
+                    let low_bits = (low as u32).saturating_sub(0xDC00);
+                    let code = 0x10000 + (high_bits << 10) + low_bits;
+                    return char::from_u32(code).ok_or_else(|| self.err("invalid surrogate pair"));
+                }
+            }
+            return Err(self.err("unpaired surrogate"));
+        }
+        char::from_u32(unit as u32).ok_or_else(|| self.err("invalid \\u escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u16, ParseError> {
+        let mut value: u16 = 0;
+        for _ in 0..4 {
+            let Some(byte) = self.peek() else {
+                return Err(self.err("truncated \\u escape"));
+            };
+            let digit = match byte {
+                b'0'..=b'9' => byte - b'0',
+                b'a'..=b'f' => byte - b'a' + 10,
+                b'A'..=b'F' => byte - b'A' + 10,
+                _ => return Err(self.err("invalid hex digit in \\u escape")),
+            };
+            value = (value << 4) | digit as u16;
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        self.eat(b'-');
+        if self.eat(b'0') {
+            // No leading zeros.
+        } else if matches!(self.peek(), Some(b'1'..=b'9')) {
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        } else {
+            return Err(self.err("invalid number"));
+        }
+        if self.eat(b'.') {
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digits required after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digits required in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let Some(slice) = self.bytes.get(start..self.pos) else {
+            return Err(self.err("invalid number"));
+        };
+        let Ok(text) = std::str::from_utf8(slice) else {
+            return Err(self.err("invalid number"));
+        };
+        match text.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(Value::Number(n)),
+            _ => Err(self.err("number out of range")),
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Validates `value` against `schema`, a document using the JSON Schema
+/// subset listed in the module docs. Returns every violation as a
+/// `path: message` string.
+pub fn validate(schema: &Value, value: &Value) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    validate_at(schema, value, "$", &mut errors);
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn validate_at(schema: &Value, value: &Value, path: &str, errors: &mut Vec<String>) {
+    // "type": a single name or a list of alternatives.
+    if let Some(expected) = schema.get("type") {
+        let names: Vec<&str> = match expected {
+            Value::String(s) => vec![s.as_str()],
+            Value::Array(items) => items.iter().filter_map(|v| v.as_str()).collect(),
+            _ => Vec::new(),
+        };
+        if !names.is_empty() && !names.iter().any(|n| type_matches(n, value)) {
+            errors.push(format!(
+                "{path}: expected type {}, got {}",
+                names.join("|"),
+                value.type_name()
+            ));
+            return;
+        }
+    }
+    if let Some(expected) = schema.get("const") {
+        if value != expected {
+            errors.push(format!("{path}: value does not match const"));
+        }
+    }
+    if let (Some(min), Value::Number(n)) = (schema.get("minimum").and_then(Value::as_f64), value) {
+        if *n < min {
+            errors.push(format!("{path}: {n} is below minimum {min}"));
+        }
+    }
+    if let Value::Object(members) = value {
+        if let Some(Value::Array(required)) = schema.get("required") {
+            for key in required.iter().filter_map(|v| v.as_str()) {
+                if value.get(key).is_none() {
+                    errors.push(format!("{path}: missing required member \"{key}\""));
+                }
+            }
+        }
+        let properties = schema.get("properties");
+        let additional = schema.get("additionalProperties");
+        for (key, member) in members {
+            let child_path = format!("{path}.{key}");
+            if let Some(prop_schema) = properties.and_then(|p| p.get(key)) {
+                validate_at(prop_schema, member, &child_path, errors);
+            } else {
+                match additional {
+                    Some(Value::Bool(false)) => {
+                        errors.push(format!("{path}: unexpected member \"{key}\""));
+                    }
+                    Some(schema @ Value::Object(_)) => {
+                        validate_at(schema, member, &child_path, errors);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    if let Value::Array(items) = value {
+        if let Some(min) = schema.get("minItems").and_then(Value::as_f64) {
+            if (items.len() as f64) < min {
+                errors.push(format!("{path}: fewer than {min} items"));
+            }
+        }
+        if let Some(max) = schema.get("maxItems").and_then(Value::as_f64) {
+            if (items.len() as f64) > max {
+                errors.push(format!("{path}: more than {max} items"));
+            }
+        }
+        if let Some(item_schema @ Value::Object(_)) = schema.get("items") {
+            for (i, item) in items.iter().enumerate() {
+                validate_at(item_schema, item, &format!("{path}[{i}]"), errors);
+            }
+        }
+    }
+}
+
+fn type_matches(name: &str, value: &Value) -> bool {
+    match name {
+        "null" => matches!(value, Value::Null),
+        "boolean" => matches!(value, Value::Bool(_)),
+        "number" => matches!(value, Value::Number(_)),
+        "integer" => matches!(value, Value::Number(n) if n.fract() == 0.0),
+        "string" => matches!(value, Value::String(_)),
+        "array" => matches!(value, Value::Array(_)),
+        "object" => matches!(value, Value::Object(_)),
+        _ => false,
+    }
+}
+
+/// Structural well-formedness check for a Chrome `trace_event` document:
+/// a top-level object with a `traceEvents` array whose members are complete
+/// events — `name`/`ph` strings, numeric `ts`/`pid`/`tid`, and a
+/// non-negative numeric `dur` on every `"X"` event. Returns the event count.
+pub fn validate_trace(doc: &Value) -> Result<usize, Vec<String>> {
+    let mut errors = Vec::new();
+    let Some(events) = doc.get("traceEvents").and_then(|e| e.as_array()) else {
+        return Err(vec!["$: missing \"traceEvents\" array".to_string()]);
+    };
+    for (i, event) in events.iter().enumerate() {
+        let path = format!("$.traceEvents[{i}]");
+        if !matches!(event, Value::Object(_)) {
+            errors.push(format!("{path}: not an object"));
+            continue;
+        }
+        if event.get("name").and_then(Value::as_str).is_none() {
+            errors.push(format!("{path}: missing string \"name\""));
+        }
+        let ph = event.get("ph").and_then(Value::as_str);
+        if ph.is_none() {
+            errors.push(format!("{path}: missing string \"ph\""));
+        }
+        for field in ["ts", "pid", "tid"] {
+            if event.get(field).and_then(Value::as_f64).is_none() {
+                errors.push(format!("{path}: missing numeric \"{field}\""));
+            }
+        }
+        if ph == Some("X") {
+            match event.get("dur").and_then(Value::as_f64) {
+                Some(dur) if dur >= 0.0 => {}
+                _ => errors.push(format!("{path}: \"X\" event without non-negative \"dur\"")),
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(events.len())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        assert_eq!(parse("null"), Ok(Value::Null));
+        assert_eq!(parse(" true "), Ok(Value::Bool(true)));
+        assert_eq!(parse("-12.5e2"), Ok(Value::Number(-1250.0)));
+        assert_eq!(parse("\"a\\nb\""), Ok(Value::String("a\nb".to_string())));
+        let v = parse("{\"k\": [1, 2, {\"n\": null}]}").expect("parses");
+        assert_eq!(
+            v.get("k").and_then(|a| a.as_array()).map(|a| a.len()),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for doc in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "01",
+            "1 2",
+            "\"\\q\"",
+            "{\"a\":1,\"a\":2}",
+            "nul",
+            "\"\\ud800\"",
+        ] {
+            assert!(parse(doc).is_err(), "{doc:?} should fail");
+        }
+    }
+
+    #[test]
+    fn parses_unicode_escapes_and_surrogate_pairs() {
+        assert_eq!(parse("\"\\u0041\""), Ok(Value::String("A".to_string())));
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\""),
+            Ok(Value::String("\u{1F600}".to_string()))
+        );
+        assert_eq!(parse("\"héllo\""), Ok(Value::String("héllo".to_string())));
+    }
+
+    #[test]
+    fn validator_enforces_the_supported_subset() {
+        let schema = parse(
+            "{\"type\": \"object\", \"required\": [\"version\"], \
+              \"properties\": {\"version\": {\"const\": 1}, \
+                               \"counts\": {\"type\": \"object\", \
+                                \"additionalProperties\": {\"type\": \"integer\", \"minimum\": 0}}}, \
+              \"additionalProperties\": false}",
+        )
+        .expect("schema parses");
+        let good = parse("{\"version\": 1, \"counts\": {\"a\": 3}}").expect("parses");
+        assert!(validate(&schema, &good).is_ok());
+
+        let missing = parse("{\"counts\": {}}").expect("parses");
+        let negative = parse("{\"version\": 1, \"counts\": {\"a\": -1}}").expect("parses");
+        let fractional = parse("{\"version\": 1, \"counts\": {\"a\": 1.5}}").expect("parses");
+        let extra = parse("{\"version\": 1, \"extra\": true}").expect("parses");
+        for bad in [&missing, &negative, &fractional, &extra] {
+            assert!(validate(&schema, bad).is_err());
+        }
+    }
+
+    #[test]
+    fn trace_validator_accepts_complete_events_only() {
+        let good = parse(
+            "{\"traceEvents\": [{\"name\": \"s\", \"ph\": \"X\", \"ts\": 0.5, \
+              \"dur\": 1.0, \"pid\": 1, \"tid\": 0}]}",
+        )
+        .expect("parses");
+        assert_eq!(validate_trace(&good), Ok(1));
+        let bad = parse("{\"traceEvents\": [{\"name\": \"s\", \"ph\": \"X\", \"ts\": 0}]}")
+            .expect("parses");
+        assert!(validate_trace(&bad).is_err());
+        let no_events = parse("{}").expect("parses");
+        assert!(validate_trace(&no_events).is_err());
+    }
+}

@@ -51,6 +51,7 @@ use convoy_core::{
     CandidateChain, CandidateChainSnapshot, CandidateConvoy, CmcStateSnapshot, Convoy, ConvoyQuery,
     CutsVariant, RefineFold, RefineFoldSnapshot,
 };
+use convoy_obs::Obs;
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::Path;
@@ -529,6 +530,18 @@ impl ConvoyStream {
     /// corruption or format violation yields an error, never a partial
     /// stream.
     pub fn from_checkpoint_bytes(bytes: &[u8]) -> Result<ConvoyStream, CheckpointError> {
+        ConvoyStream::from_checkpoint_bytes_obs(bytes, &Obs::noop())
+    }
+
+    /// Like [`ConvoyStream::from_checkpoint_bytes`], recording the restore's
+    /// `checkpoint.bytes_read` and `checkpoint.crc_verify_ns` metrics into
+    /// `obs`. The recorder is *not* attached to the restored stream — call
+    /// [`ConvoyStream::set_obs`] (or use [`ConvoyStream::restore_with_obs`])
+    /// for that.
+    pub fn from_checkpoint_bytes_obs(
+        bytes: &[u8],
+        obs: &Obs,
+    ) -> Result<ConvoyStream, CheckpointError> {
         // Trailer first: magic, then whole-file integrity, then version —
         // so a bit flip anywhere (the version field included) is reported as
         // corruption, while an intact newer-format file is reported as such.
@@ -548,7 +561,17 @@ impl ConvoyStream {
             *dst = *byte;
         }
         let stored_crc = u32::from_le_bytes(stored);
-        if crc32(body) != stored_crc {
+        let live = obs.enabled();
+        let crc_started_ns = if live { obs.now_ns() } else { 0 };
+        let crc_ok = crc32(body) == stored_crc;
+        if live {
+            obs.histogram_record(
+                "checkpoint.crc_verify_ns",
+                obs.now_ns().saturating_sub(crc_started_ns),
+            );
+            obs.counter_add("checkpoint.bytes_read", bytes.len() as u64);
+        }
+        if !crc_ok {
             return Err(CheckpointError::ChecksumMismatch);
         }
 
@@ -696,6 +719,10 @@ impl ConvoyStream {
     /// step — a crash mid-write never corrupts an existing checkpoint.
     pub fn checkpoint<P: AsRef<Path>>(&self, path: P) -> Result<(), CheckpointError> {
         let path = path.as_ref();
+        let live = self.obs.enabled();
+        // The guard ends the `checkpoint.write` span on every exit path,
+        // early I/O errors included.
+        let _span = self.obs.span_guard("checkpoint.write", self.root_span);
         let bytes = self.checkpoint_bytes();
         let mut tmp = path.as_os_str().to_owned();
         tmp.push(".tmp");
@@ -703,11 +730,23 @@ impl ConvoyStream {
         {
             let mut file = std::fs::File::create(&tmp)?;
             file.write_all(&bytes)?;
+            let fsync_started_ns = if live { self.obs.now_ns() } else { 0 };
             file.sync_all()?;
+            if live {
+                self.obs.histogram_record(
+                    "checkpoint.fsync_ns",
+                    self.obs.now_ns().saturating_sub(fsync_started_ns),
+                );
+            }
         }
         if let Err(e) = std::fs::rename(&tmp, path) {
             let _ = std::fs::remove_file(&tmp);
             return Err(e.into());
+        }
+        if live {
+            self.obs.counter_add("checkpoint.writes", 1);
+            self.obs
+                .counter_add("checkpoint.bytes_written", bytes.len() as u64);
         }
         Ok(())
     }
@@ -718,6 +757,19 @@ impl ConvoyStream {
     pub fn restore<P: AsRef<Path>>(path: P) -> Result<ConvoyStream, CheckpointError> {
         let bytes = std::fs::read(path)?;
         ConvoyStream::from_checkpoint_bytes(&bytes)
+    }
+
+    /// Like [`ConvoyStream::restore`], recording the restore metrics into
+    /// `obs` and attaching it to the restored stream (equivalent to calling
+    /// [`ConvoyStream::set_obs`] afterwards).
+    pub fn restore_with_obs<P: AsRef<Path>>(
+        path: P,
+        obs: &Obs,
+    ) -> Result<ConvoyStream, CheckpointError> {
+        let bytes = std::fs::read(path)?;
+        let mut stream = ConvoyStream::from_checkpoint_bytes_obs(&bytes, obs)?;
+        stream.set_obs(obs.clone());
+        Ok(stream)
     }
 }
 

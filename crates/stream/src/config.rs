@@ -1,6 +1,7 @@
 //! Configuration and observability types of the streaming pipeline.
 
 use convoy_core::{CmcStats, ConvoyQuery, CutsVariant};
+use convoy_obs::{MetricsSnapshot, Recorder, Registry};
 use serde::{Deserialize, Serialize};
 use traj_simplify::ToleranceMode;
 use trajectory::TimePoint;
@@ -147,6 +148,46 @@ pub struct StreamStats {
     pub peak_samples_buffered: usize,
 }
 
+/// Publishes a [`StreamStats`] into `registry` under the canonical
+/// `stream.*` (and nested `cmc.*`) names — the typed-view half of the
+/// streaming `--stats` rendering path. Store semantics like
+/// [`convoy_core::publish_fold_stats`]: the struct is the authoritative
+/// lifetime view (it survives checkpoint/restore, which live-recorded
+/// counters do not), so it overwrites whatever was live-recorded.
+pub fn publish_stream_stats(registry: &Registry, stats: &StreamStats) {
+    convoy_core::publish_fold_stats(registry, &stats.fold);
+    registry.counter_store("stream.partitions_closed", stats.partitions_closed);
+    registry.counter_store("stream.filter_candidates", stats.filter_candidates);
+    registry.counter_store("stream.candidates_evicted", stats.candidates_evicted);
+    registry.gauge_set(
+        "stream.peak_filter_candidates",
+        i64::try_from(stats.peak_filter_candidates).unwrap_or(i64::MAX),
+    );
+    registry.gauge_set(
+        "stream.samples_buffered",
+        i64::try_from(stats.samples_buffered).unwrap_or(i64::MAX),
+    );
+    registry.gauge_set(
+        "stream.peak_samples_buffered",
+        i64::try_from(stats.peak_samples_buffered).unwrap_or(i64::MAX),
+    );
+}
+
+/// Reads the `stream.*` metrics back out of a snapshot — the inverse of
+/// [`publish_stream_stats`].
+pub fn stream_stats_from_snapshot(snapshot: &MetricsSnapshot) -> StreamStats {
+    let gauge_usize = |name: &str| usize::try_from(snapshot.gauge(name)).unwrap_or(0);
+    StreamStats {
+        fold: convoy_core::fold_stats_from_snapshot(snapshot),
+        partitions_closed: snapshot.counter("stream.partitions_closed"),
+        filter_candidates: snapshot.counter("stream.filter_candidates"),
+        peak_filter_candidates: gauge_usize("stream.peak_filter_candidates"),
+        candidates_evicted: snapshot.counter("stream.candidates_evicted"),
+        samples_buffered: gauge_usize("stream.samples_buffered"),
+        peak_samples_buffered: gauge_usize("stream.peak_samples_buffered"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,5 +217,28 @@ mod tests {
         assert_eq!(config.tolerance_mode, ToleranceMode::Global);
         assert_eq!(config.eviction.horizon, Some(9));
         assert_eq!(StreamConfig::new(query, 0.5, 8).step(), 7);
+    }
+
+    #[test]
+    fn stream_stats_publish_round_trips() {
+        let stats = StreamStats {
+            fold: CmcStats {
+                peak_candidates: 7,
+                ticks_ingested: 40,
+                gap_closures: 2,
+                convoys_closed: 3,
+            },
+            partitions_closed: 9,
+            filter_candidates: 5,
+            peak_filter_candidates: 4,
+            candidates_evicted: 1,
+            samples_buffered: 80,
+            peak_samples_buffered: 120,
+        };
+        let registry = Registry::new();
+        // Publishing over stale live-recorded values must overwrite them.
+        registry.counter_add("stream.partitions_closed", 1000);
+        publish_stream_stats(&registry, &stats);
+        assert_eq!(stream_stats_from_snapshot(&registry.snapshot()), stats);
     }
 }

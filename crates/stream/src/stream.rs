@@ -45,6 +45,7 @@ use convoy_core::{
     auto_delta, auto_lambda, cluster_partition, CandidateChain, CandidateConvoy, Convoy,
     ConvoyQuery, CutsConfig, Discovery, RefineFold,
 };
+use convoy_obs::{Obs, SpanId};
 use std::collections::{BTreeMap, BTreeSet};
 use traj_cluster::{SegmentDistance, SubTrajectory};
 use traj_simplify::{SlidingDp, ToleranceMode};
@@ -124,6 +125,18 @@ pub struct ConvoyStream {
     pub(crate) chain_evicted: u64,
     pub(crate) samples_buffered: usize,
     pub(crate) peak_samples_buffered: usize,
+    /// Recorder for the `stream.*` metrics (no-op by default; one branch per
+    /// push when disabled). Runtime-only: checkpoints do not store it.
+    pub(crate) obs: Obs,
+    /// Root span of the attached recorder ([`SpanId::NONE`] when no-op).
+    pub(crate) root_span: SpanId,
+    /// Recorder timestamp of [`ConvoyStream::set_obs`], the baseline of the
+    /// one-shot `stream.time_to_first_convoy_ns` latency.
+    pub(crate) start_ns: u64,
+    /// True until the first convoy is emitted with a live recorder attached
+    /// from a cold start. A restored stream suppresses the metric: its first
+    /// convoy may long predate the resume.
+    pub(crate) ttfc_pending: bool,
 }
 
 impl ConvoyStream {
@@ -150,8 +163,27 @@ impl ConvoyStream {
             chain_evicted: 0,
             samples_buffered: 0,
             peak_samples_buffered: 0,
+            obs: Obs::noop(),
+            root_span: SpanId::NONE,
+            start_ns: 0,
+            ttfc_pending: false,
             config,
         }
+    }
+
+    /// Attaches a recorder: subsequent pushes record the `stream.*` ingest
+    /// and latency metrics, partition closes get `stream.partition` spans
+    /// under a `stream` root span, and the refinement fold records its
+    /// `cmc.*` counters. Replaces any previous recorder (each attachment
+    /// starts its own root span and latency baseline).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.fold.set_obs(obs.clone());
+        self.root_span = obs.span_start("stream", SpanId::NONE);
+        self.start_ns = obs.now_ns();
+        // Time-to-first-convoy is only meaningful from a cold start; a
+        // restored or mid-feed stream (watermark already set) suppresses it.
+        self.ttfc_pending = obs.enabled() && self.validator.watermark().is_none();
+        self.obs = obs;
     }
 
     /// The stream's configuration.
@@ -257,6 +289,18 @@ impl ConvoyStream {
     /// Clusters one closed λ-partition, folds it into the candidate chain
     /// and the refinement fold, and applies eviction.
     fn close_partition(&mut self, window: TimeInterval) {
+        let live = self.obs.enabled();
+        let span = if live {
+            self.obs.span_start("stream.partition", self.root_span)
+        } else {
+            SpanId::NONE
+        };
+        let started_ns = if live { self.obs.now_ns() } else { 0 };
+        let evicted_before = if live {
+            self.fold.evicted().saturating_add(self.chain_evicted)
+        } else {
+            0
+        };
         let horizon = self.config.eviction.horizon;
 
         // Sliding-window DP per object: the λ-partition completed, so every
@@ -309,7 +353,18 @@ impl ConvoyStream {
             snapshot_from_buffers(buffers, t, coverage, horizon)
         };
         self.fold.push_partition(&clustered, &mut snapshot_at);
-        self.ready.extend(self.fold.drain_closed());
+        let emitted = self.fold.drain_closed();
+        if live {
+            let watermark = self.validator.watermark();
+            note_emissions(
+                &self.obs,
+                &mut self.ttfc_pending,
+                self.start_ns,
+                watermark,
+                &emitted,
+            );
+        }
+        self.ready.extend(emitted);
 
         // The fold has consumed every tick before `window.end`; drop samples
         // older than the bracket needed for the boundary tick and the next
@@ -338,6 +393,22 @@ impl ConvoyStream {
         self.validator.compact();
         self.samples_buffered -= dropped;
         self.partitions_closed += 1;
+        if live {
+            let close_ns = self.obs.now_ns().saturating_sub(started_ns);
+            self.obs
+                .histogram_record("stream.partition_close_ns", close_ns);
+            self.obs.counter_add("stream.partitions_closed", 1);
+            let evicted_now = self
+                .fold
+                .evicted()
+                .saturating_add(self.chain_evicted)
+                .saturating_sub(evicted_before);
+            if evicted_now > 0 {
+                self.obs
+                    .counter_add("stream.candidates_evicted", evicted_now);
+            }
+            self.obs.span_end(span);
+        }
     }
 
     /// Ends the feed: closes every remaining λ-partition up to the
@@ -366,6 +437,7 @@ impl ConvoyStream {
             }
         }
 
+        let final_watermark = self.validator.watermark();
         let ConvoyStream {
             config,
             buffers,
@@ -378,6 +450,10 @@ impl ConvoyStream {
             chain_evicted,
             samples_buffered,
             peak_samples_buffered,
+            obs,
+            root_span,
+            start_ns,
+            mut ttfc_pending,
             ..
         } = self;
 
@@ -391,6 +467,16 @@ impl ConvoyStream {
             snapshot_from_buffers(&buffers, t, coverage, horizon)
         };
         let outcome = fold.finish(&mut snapshot_at);
+        if obs.enabled() {
+            note_emissions(
+                &obs,
+                &mut ttfc_pending,
+                start_ns,
+                final_watermark,
+                &outcome.convoys,
+            );
+            obs.span_end(root_span);
+        }
         ready.extend(outcome.convoys);
         StreamOutcome {
             convoys: ready,
@@ -410,7 +496,10 @@ impl ConvoyStream {
 
 impl FeedIngest for ConvoyStream {
     fn push(&mut self, object: ObjectId, t: TimePoint, x: f64, y: f64) -> Result<(), FeedError> {
-        self.validator.admit(object, t, x, y)?;
+        if let Err(e) = self.validator.admit(object, t, x, y) {
+            self.obs.counter_add("stream.samples_rejected", 1);
+            return Err(e);
+        }
         self.buffers
             .entry(object)
             .or_default()
@@ -421,11 +510,51 @@ impl FeedIngest for ConvoyStream {
             self.partition_start = Some(t);
         }
         self.advance(t);
+        if self.obs.enabled() {
+            self.obs.counter_add("stream.samples_ingested", 1);
+            // Occupancy after `advance`: partition closes trim buffers, so
+            // this gauge tracks what the stream actually holds right now.
+            let buffered = i64::try_from(self.samples_buffered).unwrap_or(i64::MAX);
+            self.obs.gauge_set("stream.samples_buffered", buffered);
+            self.obs.gauge_max("stream.peak_samples_buffered", buffered);
+        }
         Ok(())
     }
 
     fn watermark(&self) -> Option<TimePoint> {
         self.validator.watermark()
+    }
+}
+
+/// Records the emission-latency metrics for a batch of just-confirmed
+/// convoys: one `stream.emission_delay_ticks` histogram sample per convoy
+/// (feed watermark minus the convoy's last tick — how long the pipeline sat
+/// on the result waiting for its chain to close) and, once per stream
+/// lifetime, the `stream.time_to_first_convoy_ns` wall-clock latency from
+/// recorder attachment to first confirmation.
+fn note_emissions(
+    obs: &Obs,
+    ttfc_pending: &mut bool,
+    start_ns: u64,
+    watermark: Option<TimePoint>,
+    emitted: &[Convoy],
+) {
+    if emitted.is_empty() {
+        return;
+    }
+    if *ttfc_pending {
+        *ttfc_pending = false;
+        obs.counter_add(
+            "stream.time_to_first_convoy_ns",
+            obs.now_ns().saturating_sub(start_ns),
+        );
+    }
+    let Some(watermark) = watermark else {
+        return;
+    };
+    for convoy in emitted {
+        let delay = watermark.saturating_sub(convoy.end).max(0);
+        obs.histogram_record("stream.emission_delay_ticks", delay as u64);
     }
 }
 

@@ -65,7 +65,7 @@ pub use geometry::bbox::BoundingBox;
 pub use geometry::point::Point;
 pub use geometry::segment::Segment;
 pub use point::TrajPoint;
-pub use source::{ScanStats, TrajectorySource};
+pub use source::{publish_scan_stats, ScanStats, TrajectorySource};
 pub use stats::DatasetStats;
 pub use sweep::SnapshotSweep;
 pub use time::{TimeInterval, TimePartition, TimePoint};

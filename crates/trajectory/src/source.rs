@@ -22,6 +22,7 @@
 use crate::database::TrajectoryDatabase;
 use crate::error::Result;
 use crate::time::TimeInterval;
+use convoy_obs::{Obs, Registry};
 
 /// Read-side statistics of a source's most recent load.
 ///
@@ -62,6 +63,25 @@ pub trait TrajectorySource {
 
     /// Short human-readable format name (`"csv"`, `"convoy"`).
     fn format_name(&self) -> &'static str;
+
+    /// Attaches a recorder: subsequent loads record the `scan.*` I/O metrics
+    /// (blocks read/pruned, records decoded, bytes scanned, decode time).
+    /// Default: ignored, for backends without instrumentation.
+    fn set_obs(&mut self, _obs: Obs) {}
+}
+
+/// Publishes a [`ScanStats`] into `registry` under the canonical `scan.*`
+/// names — the typed-view half of the `--stats` rendering path. Store
+/// semantics: the struct describes the *most recent* load, and the published
+/// values overwrite whatever earlier loads recorded live.
+pub fn publish_scan_stats(registry: &Registry, stats: &ScanStats) {
+    registry.counter_store("scan.blocks_total", stats.blocks_total as u64);
+    registry.counter_store("scan.blocks_read", stats.blocks_read as u64);
+    registry.counter_store(
+        "scan.blocks_pruned",
+        stats.blocks_total.saturating_sub(stats.blocks_read) as u64,
+    );
+    registry.counter_store("scan.records_read", stats.records_read);
 }
 
 #[cfg(test)]
