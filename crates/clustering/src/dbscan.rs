@@ -31,7 +31,8 @@ pub trait RegionQuery {
     /// The default implementation delegates to `neighbors`, so providers that
     /// don't care about allocation (the brute-force test index, the
     /// sub-trajectory query) keep working unchanged; hot-path providers like
-    /// [`crate::GridIndex`] override it to reuse the caller's buffer. The
+    /// [`crate::GridIndex`] override it to reuse the caller's buffer and
+    /// answer through the batched [`crate::kernel`] distance scan. The
     /// scratch-driven DBSCAN below only ever calls this entry point.
     fn neighbors_into(&self, idx: usize, out: &mut Vec<usize>) {
         out.clear();

@@ -6,14 +6,16 @@
 //! so its e-neighbourhood search must not be quadratic — and, because every
 //! engine calls it once per tick, it must not allocate per call either.
 //!
-//! ## CSR layout
+//! ## CSR layout, structure-of-arrays
 //!
 //! [`GridIndex`] stores its buckets in *compressed sparse row* form rather
 //! than a `HashMap<cell, Vec<usize>>`: one flat array of `(cell key, point
-//! index)` pairs sorted in place (`keyed`), a sorted table of the distinct
-//! keys (`cell_keys`) with their bucket extents (`bucket_starts`), flat
-//! per-cell point-index and point-copy arrays (`bucket_points` /
-//! `cell_points`, so bucket scans read memory sequentially), and a compact
+//! index)` pairs grouped in place by a byte-adaptive radix sort (`keyed`),
+//! a sorted table of the distinct keys (`cell_keys`) with their bucket
+//! extents (`bucket_starts`), flat per-cell columns — the point-index
+//! column `bucket_points` plus **structure-of-arrays coordinate columns**
+//! `cell_xs` / `cell_ys` (split from the former interleaved `Vec<Point>`
+//! copy so the distance scan streams pure `f64` lanes) — and a compact
 //! open-addressed `(hash tag, rank)` probe table. A range query resolves
 //! the 3×3 neighbour cells with typically **one hash probe per column**:
 //! vertically adjacent cells have numerically consecutive packed keys, so
@@ -24,14 +26,23 @@
 //! pointer chasing — the flat-bucket structure the grid-join literature
 //! gets its speed from.
 //!
-//! Sorting by `(key, index)` keeps each bucket's points in ascending point
+//! The per-cell distance tests run through the batched
+//! [`kernel`](crate::kernel) module: a column's vertically adjacent buckets
+//! occupy *consecutive ranks* whenever their keys are consecutive, so the
+//! scan fuses them into one contiguous extent and tests it in
+//! [`kernel::LANE_WIDTH`](crate::kernel::LANE_WIDTH)-wide branch-free lanes
+//! (autovectorizable), emitting hits from a bitmask in ascending-index
+//! order (the mask-then-emit argument in the kernel docs).
+//!
+//! Grouping by `(key, index)` keeps each bucket's points in ascending point
 //! index, which is exactly the insertion order the previous `HashMap`
 //! implementation produced; together with the fixed 3×3 `dx`/`dy` cell visit
 //! order this makes every neighbourhood list — and therefore every DBSCAN
 //! label sequence — bit-identical to the historical behaviour, which the
-//! engine/shard/stream equivalence suites rely on (the frozen original
-//! lives in [`crate::reference`], pinned by order-equivalence property
-//! tests below).
+//! engine/shard/stream equivalence suites rely on (the frozen originals
+//! live in [`crate::reference`] — the `HashMap` grid — and [`crate::aos`] —
+//! the scalar array-of-structs CSR grid — pinned by order-equivalence
+//! property tests below and in `tests/kernel_equivalence.rs`).
 //!
 //! ## Scratch reuse
 //!
@@ -48,7 +59,9 @@ use crate::cluster::Cluster;
 use crate::dbscan::{
     dbscan, dbscan_with_core_flags_into, labels_to_clusters, DbscanScratch, Label, RegionQuery,
 };
+use crate::kernel;
 use convoy_obs::Obs;
+use std::cell::Cell;
 use trajectory::geometry::Point;
 use trajectory::{ObjectId, Snapshot};
 
@@ -63,20 +76,28 @@ pub struct GridIndex {
     points: Vec<Point>,
     epsilon: f64,
     /// Build scratch: `(cell key, point index)` pairs sorted by key then
-    /// index — one in-place `sort_unstable` groups points per cell while
-    /// keeping every bucket in ascending point index.
+    /// index — a byte-adaptive LSD radix sort (see
+    /// [`GridIndex::sort_keyed`]) groups points per cell while keeping
+    /// every bucket in ascending point index.
     keyed: Vec<(u128, u32)>,
+    /// Radix-sort double buffer: counting passes ping-pong between `keyed`
+    /// and this scratch, so the sort allocates nothing once both have grown
+    /// to the working-set size.
+    keyed_scratch: Vec<(u128, u32)>,
     /// The distinct cell keys, ascending, indexed by bucket rank.
     cell_keys: Vec<u128>,
     /// `bucket_starts[r]..bucket_starts[r + 1]` is the extent of bucket `r`
-    /// inside `bucket_points` / `cell_points`.
+    /// inside `bucket_points` / `cell_xs` / `cell_ys`.
     bucket_starts: Vec<u32>,
     /// Original point indices, grouped per cell (the CSR column array).
     bucket_points: Vec<u32>,
-    /// The points in bucket order — a cell-local copy so the distance scan
-    /// of a bucket reads memory sequentially instead of chasing
-    /// `points[bucket_points[pos]]` at random.
-    cell_points: Vec<Point>,
+    /// x coordinates in bucket order — one of the two structure-of-arrays
+    /// columns (cell-local copies, so the distance scan streams memory
+    /// sequentially instead of chasing `points[bucket_points[pos]]` at
+    /// random, and the batched kernel sees pure `f64` lanes).
+    cell_xs: Vec<f64>,
+    /// y coordinates in bucket order (see [`GridIndex::cell_xs`]).
+    cell_ys: Vec<f64>,
     /// Open-addressed lookup table of `(hash tag, bucket rank)` pairs,
     /// resolved by linear probing: a probe compares the 32-bit tag (one
     /// 8-byte load), and only a tag match pays the exact key verification
@@ -91,6 +112,26 @@ pub struct GridIndex {
     /// grouping pass): the centre column of a [`RegionQuery::neighbors_into`]
     /// query needs no hash probe at all.
     point_rank: Vec<u32>,
+    /// Per bucket rank, the rank of the same-`cy` cell one column to the
+    /// left (`cx - 1`) and one to the right (`cx + 1`), or [`EMPTY_SLOT`]
+    /// when that cell is unoccupied (or lies across the u64 sign-boundary
+    /// key wrap). Filled by an O(cells) two-pointer merge of adjacent
+    /// column runs at build time — no hashing — these links resolve the
+    /// side columns of a query's 3×3 block with direct rank lookups: in a
+    /// dense world, [`RegionQuery::neighbors_into`] touches no hash probe
+    /// at all, and [`GridIndex::range_query_into`] only one (the centre
+    /// cell). Every probe is a guaranteed-random memory access, so on
+    /// large worlds this is the difference between ~3 cache misses per
+    /// query and ~0-1.
+    col_links: Vec<(u32, u32)>,
+    /// Full [`kernel::LANE_WIDTH`]-wide batches the distance kernel has
+    /// executed since the last [`GridIndex::take_kernel_counts`]. A `Cell`
+    /// because queries take `&self`; plain adds, no atomics — queries are
+    /// single-threaded per grid (every engine gives each worker its own).
+    kernel_batches: Cell<u64>,
+    /// Total candidate points the distance kernel has scanned (full batches
+    /// plus scalar tail) since the last [`GridIndex::take_kernel_counts`].
+    kernel_lanes: Cell<u64>,
 }
 
 /// Sentinel marking an empty [`GridIndex::rank_table`] slot. Bucket ranks
@@ -145,16 +186,16 @@ impl GridIndex {
                 // lint: allow(cast-audit) — point count < u32::MAX, asserted above
                 .map(|(i, p)| (Self::pack(Self::cell_of(p, epsilon)), i as u32)),
         );
-        // Sorting the pairs groups points per cell while keeping each bucket
-        // in ascending point index — the HashMap version's insertion order.
-        // `sort_unstable` is in-place (no heap allocation), and distinct
-        // indices make the order total, so instability cannot reorder
-        // anything.
-        self.keyed.sort_unstable();
+        // Grouping the pairs orders points per cell while keeping each
+        // bucket in ascending point index — the HashMap version's insertion
+        // order. The stable radix passes preserve push order within equal
+        // keys, so the result equals a `sort_unstable` by `(key, index)`.
+        self.sort_keyed();
         self.cell_keys.clear();
         self.bucket_starts.clear();
         self.bucket_points.clear();
-        self.cell_points.clear();
+        self.cell_xs.clear();
+        self.cell_ys.clear();
         self.point_rank.clear();
         self.point_rank.resize(self.points.len(), 0);
         for (i, &(key, point)) in self.keyed.iter().enumerate() {
@@ -166,10 +207,14 @@ impl GridIndex {
             // lint: allow(cast-audit) — cell count ≤ point count < u32::MAX, asserted above
             self.point_rank[point as usize] = (self.cell_keys.len() - 1) as u32;
             self.bucket_points.push(point);
-            self.cell_points.push(self.points[point as usize]);
+            let p = self.points[point as usize];
+            self.cell_xs.push(p.x);
+            self.cell_ys.push(p.y);
         }
         // lint: allow(cast-audit) — keyed holds one pair per point, < u32::MAX, asserted above
         self.bucket_starts.push(self.keyed.len() as u32);
+
+        self.link_columns();
 
         // Open-addressed rank table at ≤ 50% load.
         let slots = (self.cell_keys.len() * 2).next_power_of_two().max(4);
@@ -185,6 +230,137 @@ impl GridIndex {
             // lint: allow(cast-audit) — rank ≤ cell count < u32::MAX, asserted above
             self.rank_table[slot] = (Self::tag(hash), rank as u32);
         }
+    }
+
+    /// Fills [`GridIndex::col_links`] from the sorted key table.
+    ///
+    /// The sorted keys group into **column runs** (ranks sharing the packed
+    /// key's high half, i.e. the same `cx`), each run internally ordered by
+    /// `cy`-as-u64. Two runs describe horizontally adjacent columns exactly
+    /// when their high halves differ by one (`checked_add` also rejects the
+    /// u64 sign-boundary wrap, mirroring the in-column adjacency guards), and
+    /// then a two-pointer merge pairs their equal-`cy` cells in one linear
+    /// sweep — the whole pass is O(cells), sequential, and hash-free.
+    fn link_columns(&mut self) {
+        self.col_links.clear();
+        self.col_links
+            .resize(self.cell_keys.len(), (EMPTY_SLOT, EMPTY_SLOT));
+        let n_cells = self.cell_keys.len();
+        let mut prev_run: Option<(usize, usize, u64)> = None;
+        let mut r = 0usize;
+        while r < n_cells {
+            let high = (self.cell_keys[r] >> 64) as u64;
+            let mut end = r + 1;
+            while end < n_cells && (self.cell_keys[end] >> 64) as u64 == high {
+                end += 1;
+            }
+            if let Some((prev_start, prev_end, prev_high)) = prev_run {
+                if prev_high.checked_add(1) == Some(high) {
+                    // Merge walk: `prev` is the left column, `r..end` the
+                    // right. Shifting a left key up one column cannot
+                    // overflow (prev_high < u64::MAX, checked above).
+                    let (mut a, mut b) = (prev_start, r);
+                    while a < prev_end && b < end {
+                        let shifted = self.cell_keys[a] + (1u128 << 64);
+                        match shifted.cmp(&self.cell_keys[b]) {
+                            std::cmp::Ordering::Equal => {
+                                // lint: allow(cast-audit) — ranks ≤ cell count < u32::MAX, asserted in rebuild_cells
+                                self.col_links[a].1 = b as u32;
+                                // lint: allow(cast-audit) — ranks ≤ cell count < u32::MAX, asserted in rebuild_cells
+                                self.col_links[b].0 = a as u32;
+                                a += 1;
+                                b += 1;
+                            }
+                            std::cmp::Ordering::Less => a += 1,
+                            std::cmp::Ordering::Greater => b += 1,
+                        }
+                    }
+                }
+            }
+            prev_run = Some((r, end, high));
+            r = end;
+        }
+    }
+
+    /// Comparison sort wins below this size: the radix passes' fixed
+    /// per-pass scans (count + scatter over the double buffer) only amortize
+    /// once a few cache lines of pairs are in play.
+    const RADIX_CUTOFF: usize = 64;
+
+    /// Groups `keyed` by ascending `(key, index)` with a **byte-adaptive LSD
+    /// radix sort** instead of a comparison sort — the `grid_build`
+    /// hot-spot fix: `sort_unstable` on 100k `(u128, u32)` pairs pays
+    /// `n log n` 16-byte comparisons, while cell keys in any realistic
+    /// world differ only in a few low bytes of each packed coordinate.
+    ///
+    /// One XOR pass finds which of the 16 key bytes vary at all; only those
+    /// byte positions get a counting pass (typically 2: the low byte of
+    /// `cy` and the low byte of `cx`). Passes are stable and scatter into
+    /// the `keyed_scratch` double buffer, ping-ponging back so the result
+    /// lands in `keyed`; within equal keys the original push order —
+    /// ascending point index — survives, which is exactly the
+    /// `sort_unstable` order on `(key, index)` pairs with distinct indices.
+    /// Both buffers reach a capacity fixpoint, so a warmed rebuild
+    /// allocates nothing.
+    fn sort_keyed(&mut self) {
+        let n = self.keyed.len();
+        if n < Self::RADIX_CUTOFF {
+            // Distinct indices make the pair order total, so instability
+            // cannot reorder anything.
+            self.keyed.sort_unstable();
+            return;
+        }
+        let first = self.keyed[0].0;
+        let mut diff = 0u128;
+        for &(k, _) in &self.keyed {
+            diff |= k ^ first;
+        }
+        if diff == 0 {
+            return; // one single cell: push order is already the answer
+        }
+        self.keyed_scratch.clear();
+        self.keyed_scratch.resize(n, (0, 0));
+        // Move both buffers out so the ping-pong borrows are disjoint
+        // (`mem::take` leaves empty non-allocating vecs behind).
+        let mut src = std::mem::take(&mut self.keyed);
+        let mut dst = std::mem::take(&mut self.keyed_scratch);
+        for byte in 0..16 {
+            let shift = byte * 8;
+            // lint: allow(cast-audit) — intentional truncation to one key byte
+            if (diff >> shift) as u8 == 0 {
+                continue; // every key agrees on this byte: skip the pass
+            }
+            let mut counts = [0usize; 256];
+            for &(k, _) in src.iter() {
+                // lint: allow(cast-audit) — intentional truncation to one key byte
+                counts[(k >> shift) as u8 as usize] += 1;
+            }
+            let mut total = 0usize;
+            for c in counts.iter_mut() {
+                let here = *c;
+                *c = total;
+                total += here;
+            }
+            for &pair in src.iter() {
+                // lint: allow(cast-audit) — intentional truncation to one key byte
+                let digit = (pair.0 >> shift) as u8 as usize;
+                dst[counts[digit]] = pair;
+                counts[digit] += 1;
+            }
+            std::mem::swap(&mut src, &mut dst);
+        }
+        // After the final swap the sorted data sits in `src`.
+        self.keyed = src;
+        self.keyed_scratch = dst;
+    }
+
+    /// Drains the batched-kernel work counters accumulated since the last
+    /// call: `(full LANE_WIDTH batches executed, total candidate points
+    /// scanned)`. The [`SnapshotClusterer`] publishes them per tick as
+    /// `cluster.kernel_batches` / `cluster.kernel_lanes`, making the
+    /// batching ratio (`batches × LANE_WIDTH / lanes`) observable per run.
+    pub fn take_kernel_counts(&self) -> (u64, u64) {
+        (self.kernel_batches.take(), self.kernel_lanes.take())
     }
 
     /// Multiply-shift hash of a packed cell key. Collisions are resolved by
@@ -291,107 +467,164 @@ impl GridIndex {
 
     /// Like [`GridIndex::range_query`], but writes the indices into `out`
     /// (cleared first) instead of allocating — same hits, same order.
-    // lint: hot-path — per-query CSR scan; writes only into the caller's buffer
+    ///
+    /// One hash probe resolves the target's own cell; when it exists (a
+    /// query at an indexed point always lands in one), the side columns
+    /// follow from its [`GridIndex::col_links`] and no further probes run.
     pub fn range_query_into(&self, target: &Point, out: &mut Vec<usize>) {
         out.clear();
         let (cx, cy) = Self::cell_of(target, self.epsilon);
-        let eps_sq = self.epsilon * self.epsilon;
-        self.scan_column(cx - 1, cy, None, target, eps_sq, out);
-        self.scan_column(cx, cy, None, target, eps_sq, out);
-        self.scan_column(cx + 1, cy, None, target, eps_sq, out);
+        let center = self.bucket_rank(Self::pack((cx, cy)));
+        self.query_cells(cx, cy, center, target, out);
     }
 
-    /// Scans one column (three vertically adjacent cells) of a query's 3×3
-    /// block in `dy` order, pushing the in-range points of each bucket.
+    /// The single batched query entry point shared by
+    /// [`GridIndex::range_query_into`] and [`RegionQuery::neighbors_into`]:
+    /// scans the 3×3 cell block around `(cx, cy)` column by column, pushing
+    /// every indexed point within `epsilon` of `target`. `eps²` is computed
+    /// exactly once, here.
+    ///
+    /// ### Column resolution
     ///
     /// Within a column, consecutive `cy` cells have numerically consecutive
     /// packed keys (except across the rare u64 sign-boundary wrap, which the
     /// `checked_add` guards detect), and the key table is sorted — so once
     /// one cell of the column is resolved, its neighbours are found with a
-    /// single sequential key comparison at the adjacent rank. Typical
-    /// dense-grid cost: one hash probe per column instead of three — and
-    /// zero when the caller supplies `center_rank` (an indexed point's own
-    /// cell, recorded at build time).
-    // lint: hot-path — column resolution for the 3×3 query block
-    #[inline]
-    fn scan_column(
+    /// single sequential key comparison at the adjacent rank. The side
+    /// columns' mid cells come from the centre cell's precomputed
+    /// [`GridIndex::col_links`]. Typical dense-grid cost: **zero** hash
+    /// probes when the caller supplies `center_rank` (an indexed point's
+    /// own cell, recorded at build time), with per-column probe fallbacks
+    /// for absent cells and unlinked columns.
+    ///
+    /// ### Run merging and the batched kernel
+    ///
+    /// Occupied column cells with consecutive ranks occupy contiguous CSR
+    /// extents, so their buckets fuse into one slice handed to
+    /// [`kernel::scan_soa`] as a single batch — at typical query density a
+    /// full 3-cell column becomes one multi-point extent instead of three
+    /// tiny scalar loops. Fusing only ever joins rank `r` with rank `r + 1`
+    /// in the lo → mid → hi scan order, so the merged kernel pass visits
+    /// buckets in precisely the order the scalar path scanned them one at a
+    /// time: hits and order stay bit-identical to the frozen references.
+    // lint: hot-path — the one batched query path; eps² computed once, extents go to the kernel
+    fn query_cells(
         &self,
-        col: i64,
+        cx: i64,
         cy: i64,
         center_rank: Option<usize>,
+        target: &Point,
+        out: &mut Vec<usize>,
+    ) {
+        let eps_sq = self.epsilon * self.epsilon;
+        // The centre cell's cross-column links hand the side columns their
+        // mid-cell ranks for free; a missing link (absent cell, or the rare
+        // key wrap) falls back to the hash-probe resolution below.
+        let (left_hint, right_hint) = match center_rank {
+            Some(r) => {
+                let (l, rt) = self.col_links[r];
+                (
+                    (l != EMPTY_SLOT).then_some(l as usize),
+                    (rt != EMPTY_SLOT).then_some(rt as usize),
+                )
+            }
+            None => (None, None),
+        };
+        for (col, col_rank) in [(cx - 1, left_hint), (cx, center_rank), (cx + 1, right_hint)] {
+            let k_lo = Self::pack((col, cy - 1));
+            let k_mid = Self::pack((col, cy));
+            let k_hi = Self::pack((col, cy + 1));
+            let lo_adjacent = k_lo.checked_add(1) == Some(k_mid);
+            let mid_adjacent = k_mid.checked_add(1) == Some(k_hi);
+
+            let r_lo = match col_rank {
+                Some(r_mid) if lo_adjacent => {
+                    if r_mid > 0 && self.cell_keys[r_mid - 1] == k_lo {
+                        Some(r_mid - 1)
+                    } else {
+                        None
+                    }
+                }
+                _ => self.bucket_rank(k_lo),
+            };
+            let r_mid = match (col_rank, r_lo) {
+                (Some(r), _) => Some(r),
+                (None, Some(r)) if lo_adjacent => {
+                    if self.cell_keys.get(r + 1) == Some(&k_mid) {
+                        Some(r + 1)
+                    } else {
+                        None
+                    }
+                }
+                _ => self.bucket_rank(k_mid),
+            };
+            let r_hi = match (r_mid, r_lo) {
+                (Some(r), _) if mid_adjacent => {
+                    if self.cell_keys.get(r + 1) == Some(&k_hi) {
+                        Some(r + 1)
+                    } else {
+                        None
+                    }
+                }
+                // The middle cell was just probed absent, so if `k_hi`
+                // exists it immediately follows the low cell's rank.
+                (None, Some(r)) if lo_adjacent && mid_adjacent => {
+                    if self.cell_keys.get(r + 1) == Some(&k_hi) {
+                        Some(r + 1)
+                    } else {
+                        None
+                    }
+                }
+                _ => self.bucket_rank(k_hi),
+            };
+
+            // Fuse consecutive-rank buckets into one contiguous SoA extent,
+            // preserving the lo → mid → hi scan order.
+            let mut run: Option<(usize, usize)> = None;
+            for rank in [r_lo, r_mid, r_hi].into_iter().flatten() {
+                run = match run {
+                    Some((first, last)) if rank == last + 1 => Some((first, rank)),
+                    Some((first, last)) => {
+                        self.scan_extent(first, last, target, eps_sq, out);
+                        Some((rank, rank))
+                    }
+                    None => Some((rank, rank)),
+                };
+            }
+            if let Some((first, last)) = run {
+                self.scan_extent(first, last, target, eps_sq, out);
+            }
+        }
+    }
+
+    /// Hands the contiguous SoA extent spanning bucket ranks
+    /// `first_rank..=last_rank` to the batched kernel, and accounts the work
+    /// in the counters behind `cluster.kernel_batches` /
+    /// `cluster.kernel_lanes`.
+    #[inline]
+    fn scan_extent(
+        &self,
+        first_rank: usize,
+        last_rank: usize,
         target: &Point,
         eps_sq: f64,
         out: &mut Vec<usize>,
     ) {
-        let k_lo = Self::pack((col, cy - 1));
-        let k_mid = Self::pack((col, cy));
-        let k_hi = Self::pack((col, cy + 1));
-        let lo_adjacent = k_lo.checked_add(1) == Some(k_mid);
-        let mid_adjacent = k_mid.checked_add(1) == Some(k_hi);
-
-        let r_lo = match center_rank {
-            Some(r_mid) if lo_adjacent => {
-                if r_mid > 0 && self.cell_keys[r_mid - 1] == k_lo {
-                    Some(r_mid - 1)
-                } else {
-                    None
-                }
-            }
-            _ => self.bucket_rank(k_lo),
-        };
-        self.scan_bucket(r_lo, target, eps_sq, out);
-
-        let r_mid = match (center_rank, r_lo) {
-            (Some(r), _) => Some(r),
-            (None, Some(r)) if lo_adjacent => {
-                if self.cell_keys.get(r + 1) == Some(&k_mid) {
-                    Some(r + 1)
-                } else {
-                    None
-                }
-            }
-            _ => self.bucket_rank(k_mid),
-        };
-        self.scan_bucket(r_mid, target, eps_sq, out);
-
-        let r_hi = match (r_mid, r_lo) {
-            (Some(r), _) if mid_adjacent => {
-                if self.cell_keys.get(r + 1) == Some(&k_hi) {
-                    Some(r + 1)
-                } else {
-                    None
-                }
-            }
-            // The middle cell was just probed absent, so if `k_hi` exists
-            // it immediately follows the low cell's rank.
-            (None, Some(r)) if lo_adjacent && mid_adjacent => {
-                if self.cell_keys.get(r + 1) == Some(&k_hi) {
-                    Some(r + 1)
-                } else {
-                    None
-                }
-            }
-            _ => self.bucket_rank(k_hi),
-        };
-        self.scan_bucket(r_hi, target, eps_sq, out);
-    }
-
-    /// Pushes the points of bucket `rank` within `eps_sq` of `target`, in
-    /// bucket (= ascending point index) order. The scan reads the
-    /// cell-local point copy sequentially; only hits touch the index array.
-    // lint: hot-path — innermost distance loop of every region query
-    #[inline]
-    fn scan_bucket(&self, rank: Option<usize>, target: &Point, eps_sq: f64, out: &mut Vec<usize>) {
-        let Some(rank) = rank else { return };
-        let start = self.bucket_starts[rank] as usize;
-        let end = self.bucket_starts[rank + 1] as usize;
-        let pts = &self.cell_points[start..end];
-        let idxs = &self.bucket_points[start..end];
-        for (p, &i) in pts.iter().zip(idxs) {
-            if p.distance_squared(target) <= eps_sq {
-                out.push(i as usize);
-            }
-        }
+        let start = self.bucket_starts[first_rank] as usize;
+        let end = self.bucket_starts[last_rank + 1] as usize;
+        let len = end - start;
+        self.kernel_batches
+            .set(self.kernel_batches.get() + kernel::full_batches(len) as u64);
+        self.kernel_lanes.set(self.kernel_lanes.get() + len as u64);
+        kernel::scan_soa(
+            &self.cell_xs[start..end],
+            &self.cell_ys[start..end],
+            &self.bucket_points[start..end],
+            target.x,
+            target.y,
+            eps_sq,
+            out,
+        );
     }
 
     /// Inverse of [`GridIndex::pack`].
@@ -416,16 +649,14 @@ impl RegionQuery for GridIndex {
     /// [`GridIndex::range_query_into`] at the point's own position, but the
     /// point's cell is recovered from its recorded bucket rank — no
     /// coordinate divisions, and the centre column needs no hash probe.
-    // lint: hot-path — DBSCAN's per-point neighbourhood query; no allocation allowed
+    /// Both entry points funnel into the one audited
+    /// [`GridIndex::query_cells`] region.
     fn neighbors_into(&self, idx: usize, out: &mut Vec<usize>) {
         out.clear();
         let target = &self.points[idx];
-        let eps_sq = self.epsilon * self.epsilon;
         let rank = self.point_rank[idx] as usize;
         let (cx, cy) = Self::unpack(self.cell_keys[rank]);
-        self.scan_column(cx - 1, cy, None, target, eps_sq, out);
-        self.scan_column(cx, cy, Some(rank), target, eps_sq, out);
-        self.scan_column(cx + 1, cy, None, target, eps_sq, out);
+        self.query_cells(cx, cy, Some(rank), target, out);
     }
 }
 
@@ -538,11 +769,15 @@ impl SnapshotClusterer {
             );
         }
         if live {
+            let (kernel_batches, kernel_lanes) = self.grid.take_kernel_counts();
             self.obs.counter_add("cluster.calls", 1);
             self.obs
                 .counter_add("cluster.points", self.ids.len() as u64);
             self.obs
                 .counter_add("cluster.clusters_found", num_clusters as u64);
+            self.obs
+                .counter_add("cluster.kernel_batches", kernel_batches);
+            self.obs.counter_add("cluster.kernel_lanes", kernel_lanes);
             self.obs.histogram_record(
                 "cluster.call_ns",
                 self.obs.now_ns().saturating_sub(started_ns),

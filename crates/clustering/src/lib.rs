@@ -5,9 +5,11 @@
 //!
 //! * [`dbscan`]: a generic DBSCAN implementation over abstract items with a
 //!   pluggable [`RegionQuery`] neighbourhood provider;
-//! * [`GridIndex`]: a uniform-grid spatial index in a flat CSR layout
-//!   providing the e-neighbourhood searches DBSCAN needs over point
-//!   snapshots (used by CMC and by the CuTS refinement step);
+//! * [`GridIndex`]: a uniform-grid spatial index in a flat CSR
+//!   structure-of-arrays layout whose distance scans run through the
+//!   batched, auto-vectorizable [`kernel`] module, providing the
+//!   e-neighbourhood searches DBSCAN needs over point snapshots (used by
+//!   CMC and by the CuTS refinement step);
 //! * [`snapshot_clusters`]: snapshot clustering of a
 //!   [`trajectory::Snapshot`] into object-id clusters, and
 //!   [`SnapshotClusterer`]: its reusable-scratch form, allocation-free in
@@ -43,9 +45,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+#[doc(hidden)]
+pub mod aos;
 pub mod cluster;
 pub mod dbscan;
 pub mod grid;
+pub mod kernel;
 #[doc(hidden)]
 pub mod reference;
 pub mod segment;

@@ -178,6 +178,17 @@ fn warmed_clusterer_with_live_registry_performs_zero_allocations() {
     );
     // The instrumentation actually ran: 3 passes × 40 ticks of calls.
     assert_eq!(registry.counter("cluster.calls"), 120);
+    // The batched-kernel utilisation counters accrued through the same
+    // zero-allocation path: every DBSCAN neighbourhood query scans at least
+    // the queried point itself, and full batches can never account for more
+    // lanes than were scanned in total.
+    let lanes = registry.counter("cluster.kernel_lanes");
+    let batches = registry.counter("cluster.kernel_batches");
+    assert!(lanes > 0, "kernel scans recorded no candidate lanes");
+    assert!(
+        batches * (traj_cluster::kernel::LANE_WIDTH as u64) <= lanes,
+        "kernel batch accounting inconsistent: {batches} batches vs {lanes} lanes"
+    );
 }
 
 #[test]

@@ -39,6 +39,7 @@
 //! | `stream.emission_delay_ticks` | histogram | per-result delay (ranked-enumeration lens) |
 //! | `stream.time_to_first_convoy_ns` | histogram | streaming first-result latency |
 //! | `scan.blocks_read` / `scan.blocks_pruned` | counter | container block-index pruning |
+//! | `cluster.kernel_batches` / `cluster.kernel_lanes` | counter | batched-kernel utilisation (full `LANE_WIDTH` batches vs total candidate lanes scanned) |
 //!
 //! # Spans
 //!
